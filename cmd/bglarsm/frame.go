@@ -1,0 +1,27 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"io"
+)
+
+// writeJSONFrame writes one length-prefixed JSON frame.
+func writeJSONFrame(w io.Writer, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeRawFrame(w, raw)
+}
+
+// writeRawFrame writes one length-prefixed frame.
+func writeRawFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}

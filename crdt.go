@@ -1,0 +1,46 @@
+package bgla
+
+import (
+	"bgla/internal/crdt"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+)
+
+// CRDT command constructors — commands for the Service's Update method.
+// Commands commute: the replicated views below depend only on the set
+// of commands, never on arrival order, which is the prerequisite of the
+// paper's RSM construction (§1, §7).
+
+// AddCmd encodes a set-add (G-Set / 2P-Set element insertion).
+func AddCmd(elem string) string { return crdt.AddCmd(elem) }
+
+// RemCmd encodes a 2P-Set removal (remove wins permanently).
+func RemCmd(elem string) string { return crdt.RemCmd(elem) }
+
+// IncCmd encodes a counter increment.
+func IncCmd(amount uint64) string { return crdt.IncCmd(amount) }
+
+// DecCmd encodes a counter decrement (PN-Counter).
+func DecCmd(amount uint64) string { return crdt.DecCmd(amount) }
+
+// PutCmd encodes a last-writer-wins map write.
+func PutCmd(key string, stamp uint64, value string) string {
+	return crdt.PutCmd(key, stamp, value)
+}
+
+func itemsToSet(items []Item) lattice.Set {
+	conv := make([]lattice.Item, len(items))
+	for i, it := range items {
+		conv[i] = lattice.Item{Author: ident.ProcessID(it.Author), Body: it.Body}
+	}
+	return lattice.FromItems(conv...)
+}
+
+// SetView folds a read state into 2P-Set membership.
+func SetView(state []Item) []string { return crdt.SetView(itemsToSet(state)) }
+
+// CounterView folds a read state into the PN-Counter value.
+func CounterView(state []Item) int64 { return crdt.CounterView(itemsToSet(state)) }
+
+// MapView folds a read state into the LWW map.
+func MapView(state []Item) map[string]string { return crdt.MapView(itemsToSet(state)) }

@@ -1,0 +1,53 @@
+// Setcounter: the paper's motivating application (§1) — a dependable
+// counter with commutative add operations and consistent reads, built
+// as a Byzantine-tolerant replicated state machine over Generalized
+// Lattice Agreement. One of the four replicas is silent-Byzantine the
+// whole time; updates and reads still complete, and every read is a
+// consistent snapshot on the lattice chain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bgla"
+)
+
+func main() {
+	svc, err := bgla.NewService(bgla.ServiceConfig{
+		Replicas:     4,
+		Faulty:       1,
+		MuteReplicas: []int{3}, // replica 3 is Byzantine (silent)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	fmt.Println("dependable counter on 4 replicas, replica 3 Byzantine-silent")
+	fmt.Println()
+
+	reads := []int64{}
+	for i := 1; i <= 5; i++ {
+		if err := svc.Update(bgla.IncCmd(uint64(i))); err != nil {
+			log.Fatalf("add(%d): %v", i, err)
+		}
+		state, err := svc.Read()
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		value := bgla.CounterView(state)
+		reads = append(reads, value)
+		fmt.Printf("  add(%d) -> read() = %d\n", i, value)
+	}
+
+	// Reads grow monotonically: consistent snapshots along one chain
+	// (if someone reads 3, a later read can be 6 but never 2).
+	for i := 1; i < len(reads); i++ {
+		if reads[i] < reads[i-1] {
+			log.Fatalf("read monotonicity violated: %v", reads)
+		}
+	}
+	fmt.Println()
+	fmt.Println("reads are growing snapshots of the same chain: linearizable without consensus")
+}

@@ -1,0 +1,105 @@
+// Package baseline implements the crash-stop lattice agreement of
+// Faleiro et al. [2] (the algorithm WTS extends): no disclosure phase,
+// no reliable broadcast, no SAFE() filtering, and a simple majority
+// quorum ⌊n/2⌋+1. It tolerates f < n/2 crash failures and is the
+// comparison baseline for measuring the cost of Byzantine tolerance
+// (experiment E11).
+package baseline
+
+import (
+	"fmt"
+
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+)
+
+// Config configures one crash-stop LA process.
+type Config struct {
+	Self     ident.ProcessID
+	N        int
+	Proposal lattice.Set
+}
+
+// Machine is one crash-stop proposer+acceptor.
+type Machine struct {
+	proto.Recorder
+	cfg    Config
+	quorum int
+
+	// Proposer state.
+	decided  bool
+	proposed lattice.Set
+	ackers   *ident.Set
+	ts       uint32
+	decision lattice.Set
+
+	// Acceptor state.
+	accepted lattice.Set
+}
+
+// New builds a crash-stop LA machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("baseline: n must be positive")
+	}
+	return &Machine{
+		cfg:      cfg,
+		quorum:   cfg.N/2 + 1,
+		proposed: cfg.Proposal,
+		ackers:   ident.NewSet(),
+	}, nil
+}
+
+// ID implements proto.Machine.
+func (m *Machine) ID() ident.ProcessID { return m.cfg.Self }
+
+// Decision returns the decision, if decided.
+func (m *Machine) Decision() (lattice.Set, bool) { return m.decision, m.decided }
+
+// Start broadcasts the initial proposal.
+func (m *Machine) Start() []proto.Output {
+	return []proto.Output{proto.Bcast(msg.AckReq{Proposed: m.proposed, TS: m.ts, Round: 0})}
+}
+
+// Handle implements proto.Machine.
+func (m *Machine) Handle(from ident.ProcessID, in msg.Msg) []proto.Output {
+	switch v := in.(type) {
+	case msg.AckReq:
+		if m.accepted.SubsetOf(v.Proposed) {
+			m.accepted = v.Proposed
+			return []proto.Output{proto.Send(from, msg.Ack{Accepted: m.accepted, TS: v.TS, Round: 0})}
+		}
+		out := proto.Send(from, msg.Nack{Accepted: m.accepted, TS: v.TS, Round: 0})
+		m.accepted = m.accepted.Union(v.Proposed)
+		return []proto.Output{out}
+	case msg.Ack:
+		if m.decided || v.TS != m.ts {
+			return nil
+		}
+		m.ackers.Add(from)
+		if m.ackers.Len() < m.quorum {
+			return nil
+		}
+		m.decided = true
+		m.decision = m.proposed
+		m.Emit(proto.DecideEvent{Proc: m.cfg.Self, Round: 0, Value: m.decision})
+		return nil
+	case msg.Nack:
+		if m.decided || v.TS != m.ts {
+			return nil
+		}
+		merged := v.Accepted.Union(m.proposed)
+		if merged.Equal(m.proposed) {
+			return nil
+		}
+		m.proposed = merged
+		m.ackers.Clear()
+		m.ts++
+		m.Emit(proto.RefineEvent{Proc: m.cfg.Self, Round: 0, TS: m.ts})
+		return []proto.Output{proto.Bcast(msg.AckReq{Proposed: m.proposed, TS: m.ts, Round: 0})}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,284 @@
+// Package byz is the Byzantine adversary library: concrete hostile
+// machines implementing proto.Machine with raw access to message
+// construction. Each adversary realizes a behaviour the paper's proofs
+// defend against:
+//
+//   - Mute — crash-like silence (wait-freedom, §5/§6 liveness);
+//   - JunkFlooder — malformed traffic (input validation);
+//   - Equivocator — split-brain reliable-broadcast disclosure (§5's
+//     motivation for using Byzantine reliable broadcast);
+//   - NackSpammer — perpetual nacks trying to starve proposers (§6.2);
+//   - AckAll — acks everything, including proposals it never saw;
+//   - RoundSpammer — keeps opening GWTS rounds to outrun correct
+//     proposers (§6.2's round-racing attack, contained by Safe_r);
+//   - SplitBrain — the Theorem 1 lower-bound attack: with only n ≤ 3f
+//     effective honest participation, colluding adversaries drive two
+//     partitioned correct processes to incomparable decisions;
+//   - Random — a seeded mixture of the above for fuzz-style runs.
+package byz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+)
+
+// Mute is a silent (crash-faulty) process.
+type Mute struct {
+	proto.Recorder
+	Self ident.ProcessID
+}
+
+// ID implements proto.Machine.
+func (m *Mute) ID() ident.ProcessID { return m.Self }
+
+// Start implements proto.Machine.
+func (m *Mute) Start() []proto.Output { return nil }
+
+// Handle implements proto.Machine.
+func (m *Mute) Handle(ident.ProcessID, msg.Msg) []proto.Output { return nil }
+
+// JunkFlooder broadcasts malformed messages at start and replies to
+// every delivery with more junk.
+type JunkFlooder struct {
+	proto.Recorder
+	Self  ident.ProcessID
+	Burst int // initial burst size (default 8)
+}
+
+// ID implements proto.Machine.
+func (j *JunkFlooder) ID() ident.ProcessID { return j.Self }
+
+// Start implements proto.Machine.
+func (j *JunkFlooder) Start() []proto.Output {
+	burst := j.Burst
+	if burst == 0 {
+		burst = 8
+	}
+	var outs []proto.Output
+	for i := 0; i < burst; i++ {
+		outs = append(outs,
+			proto.Bcast(msg.Junk{Blob: fmt.Sprintf("junk-%d", i)}),
+			proto.Bcast(msg.Ack{Accepted: lattice.FromStrings(j.Self, "junk"), TS: uint32(i), Round: 0}),
+			proto.Bcast(msg.RBCReady{Src: j.Self, Tag: "junk", Payload: msg.Junk{}}),
+		)
+	}
+	return outs
+}
+
+// Handle implements proto.Machine.
+func (j *JunkFlooder) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	if from == j.Self {
+		return nil // never loop on own broadcasts
+	}
+	// One junk reply per delivery keeps traffic bounded by the run.
+	return []proto.Output{proto.Send(from, msg.Junk{Blob: "re"})}
+}
+
+// Equivocator attacks the WTS disclosure phase: it plays a split-brain
+// reliable broadcast, claiming value A toward SideA and value B toward
+// SideB, with mirror support (echo/ready) so each side would deliver its
+// version if the quorum intersection argument did not stop it.
+type Equivocator struct {
+	proto.Recorder
+	Self         ident.ProcessID
+	Tag          string
+	RoundOf      func() int // round in the disclosure payload (nil = 0)
+	SideA, SideB []ident.ProcessID
+	ValA, ValB   lattice.Set
+	sent         map[string]bool
+}
+
+// ID implements proto.Machine.
+func (e *Equivocator) ID() ident.ProcessID { return e.Self }
+
+func (e *Equivocator) round() int {
+	if e.RoundOf == nil {
+		return 0
+	}
+	return e.RoundOf()
+}
+
+// Start implements proto.Machine.
+func (e *Equivocator) Start() []proto.Output {
+	var outs []proto.Output
+	emit := func(side []ident.ProcessID, v lattice.Set) {
+		payload := msg.Disclosure{Round: e.round(), Value: v}
+		for _, p := range side {
+			outs = append(outs,
+				proto.Send(p, msg.RBCSend{Src: e.Self, Tag: e.Tag, Payload: payload}),
+				proto.Send(p, msg.RBCEcho{Src: e.Self, Tag: e.Tag, Payload: payload}),
+				proto.Send(p, msg.RBCReady{Src: e.Self, Tag: e.Tag, Payload: payload}),
+			)
+		}
+	}
+	emit(e.SideA, e.ValA)
+	emit(e.SideB, e.ValB)
+	return outs
+}
+
+// Handle implements proto.Machine: mirror support — whenever a process
+// echoes some payload, feed that process a matching echo and ready so
+// its thresholds advance without cross-side agreement; and ack every
+// proposal request it is asked about.
+func (e *Equivocator) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	if e.sent == nil {
+		e.sent = make(map[string]bool)
+	}
+	switch v := m.(type) {
+	case msg.RBCEcho:
+		key := fmt.Sprintf("%v|%s|%s|%v", v.Src, v.Tag, msg.KeyOf(v.Payload), from)
+		if e.sent[key] {
+			return nil
+		}
+		e.sent[key] = true
+		return []proto.Output{
+			proto.Send(from, msg.RBCEcho{Src: v.Src, Tag: v.Tag, Payload: v.Payload}),
+			proto.Send(from, msg.RBCReady{Src: v.Src, Tag: v.Tag, Payload: v.Payload}),
+		}
+	case msg.AckReq:
+		return []proto.Output{proto.Send(from, msg.Ack{Accepted: v.Proposed, TS: v.TS, Round: v.Round})}
+	}
+	return nil
+}
+
+// NackSpammer replies to every ack request with a nack carrying the
+// largest proposal it has observed, trying to force endless refinement
+// (bounded by Lemma 3: refinements only happen while sets still grow).
+type NackSpammer struct {
+	proto.Recorder
+	Self ident.ProcessID
+	seen lattice.Set
+}
+
+// ID implements proto.Machine.
+func (s *NackSpammer) ID() ident.ProcessID { return s.Self }
+
+// Start implements proto.Machine.
+func (s *NackSpammer) Start() []proto.Output { return nil }
+
+// Handle implements proto.Machine.
+func (s *NackSpammer) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	if req, ok := m.(msg.AckReq); ok {
+		s.seen = s.seen.Union(req.Proposed)
+		return []proto.Output{proto.Send(from, msg.Nack{Accepted: s.seen, TS: req.TS, Round: req.Round})}
+	}
+	return nil
+}
+
+// AckAll acks every request instantly, even before any disclosure,
+// trying to make proposers decide prematurely.
+type AckAll struct {
+	proto.Recorder
+	Self ident.ProcessID
+}
+
+// ID implements proto.Machine.
+func (a *AckAll) ID() ident.ProcessID { return a.Self }
+
+// Start implements proto.Machine.
+func (a *AckAll) Start() []proto.Output { return nil }
+
+// Handle implements proto.Machine.
+func (a *AckAll) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	if req, ok := m.(msg.AckReq); ok {
+		return []proto.Output{proto.Send(from, msg.Ack{Accepted: req.Proposed, TS: req.TS, Round: req.Round})}
+	}
+	return nil
+}
+
+// RoundSpammer keeps disclosing (empty or junk) batches for successive
+// GWTS rounds as soon as it sees anyone reach them, trying to race the
+// protocol through rounds. Safe_r limits it to one round beyond the
+// last legitimate end.
+type RoundSpammer struct {
+	proto.Recorder
+	Self     ident.ProcessID
+	TagOf    func(round int) string
+	Val      lattice.Set
+	MaxRound int
+	started  map[int]bool
+}
+
+// ID implements proto.Machine.
+func (r *RoundSpammer) ID() ident.ProcessID { return r.Self }
+
+func (r *RoundSpammer) disclose(round int) []proto.Output {
+	if r.started == nil {
+		r.started = make(map[int]bool)
+	}
+	if round > r.MaxRound || r.started[round] {
+		return nil
+	}
+	r.started[round] = true
+	payload := msg.Disclosure{Round: round, Value: r.Val}
+	return []proto.Output{proto.Bcast(msg.RBCSend{Src: r.Self, Tag: r.TagOf(round), Payload: payload})}
+}
+
+// Start implements proto.Machine.
+func (r *RoundSpammer) Start() []proto.Output {
+	return r.disclose(0)
+}
+
+// Handle implements proto.Machine: any observed disclosure for round k
+// triggers the spammer's disclosures for k+1 (and it echoes nothing).
+func (r *RoundSpammer) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	if send, ok := m.(msg.RBCSend); ok {
+		if d, ok := send.Payload.(msg.Disclosure); ok {
+			return r.disclose(d.Round + 1)
+		}
+	}
+	return nil
+}
+
+// Random reacts to traffic with a seeded random mix of hostile replies;
+// used for fuzz-style robustness runs.
+type Random struct {
+	proto.Recorder
+	Self ident.ProcessID
+	Rng  *rand.Rand
+}
+
+// NewRandom builds a seeded random adversary.
+func NewRandom(self ident.ProcessID, seed int64) *Random {
+	return &Random{Self: self, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// ID implements proto.Machine.
+func (r *Random) ID() ident.ProcessID { return r.Self }
+
+// Start implements proto.Machine.
+func (r *Random) Start() []proto.Output {
+	return []proto.Output{proto.Bcast(msg.Junk{Blob: "rnd"})}
+}
+
+// Handle implements proto.Machine.
+func (r *Random) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	switch r.Rng.Intn(6) {
+	case 0:
+		return nil // drop
+	case 1:
+		return []proto.Output{proto.Send(from, msg.Junk{Blob: "x"})}
+	case 2:
+		if req, ok := m.(msg.AckReq); ok {
+			return []proto.Output{proto.Send(from, msg.Ack{Accepted: req.Proposed, TS: req.TS, Round: req.Round})}
+		}
+		return nil
+	case 3:
+		if req, ok := m.(msg.AckReq); ok {
+			return []proto.Output{proto.Send(from, msg.Nack{Accepted: lattice.FromStrings(r.Self, "zzz"), TS: req.TS, Round: req.Round})}
+		}
+		return nil
+	case 4:
+		if e, ok := m.(msg.RBCEcho); ok {
+			return []proto.Output{proto.Send(from, msg.RBCReady{Src: e.Src, Tag: e.Tag, Payload: e.Payload})}
+		}
+		return nil
+	default:
+		return []proto.Output{proto.Bcast(msg.Ack{Accepted: lattice.Empty(), TS: uint32(r.Rng.Intn(4)), Round: 0})}
+	}
+}

@@ -1,0 +1,172 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+)
+
+func set(author int, bodies ...string) lattice.Set {
+	return lattice.FromStrings(ident.ProcessID(author), bodies...)
+}
+
+func TestLAAllCleanRun(t *testing.T) {
+	a := set(0, "a")
+	b := set(1, "b")
+	run := &LARun{
+		Proposals: map[ident.ProcessID]lattice.Set{0: a, 1: b},
+		Decisions: map[ident.ProcessID]lattice.Set{0: a.Union(b), 1: a.Union(b)},
+		F:         1,
+	}
+	if v := run.All(); len(v) != 0 {
+		t.Fatalf("clean run flagged: %v", v)
+	}
+}
+
+func TestLALivenessViolation(t *testing.T) {
+	run := &LARun{
+		Proposals: map[ident.ProcessID]lattice.Set{0: set(0, "a"), 1: set(1, "b")},
+		Decisions: map[ident.ProcessID]lattice.Set{0: set(0, "a")},
+	}
+	v := run.Liveness()
+	if len(v) != 1 || !strings.Contains(v[0], "p1") {
+		t.Fatalf("Liveness = %v", v)
+	}
+}
+
+func TestLAComparabilityViolation(t *testing.T) {
+	run := &LARun{
+		Proposals: map[ident.ProcessID]lattice.Set{0: set(0, "a"), 1: set(1, "b")},
+		Decisions: map[ident.ProcessID]lattice.Set{0: set(0, "a"), 1: set(1, "b")},
+	}
+	if v := run.Comparability(); len(v) != 1 {
+		t.Fatalf("Comparability = %v", v)
+	}
+	// Inclusivity still fine.
+	if v := run.Inclusivity(); len(v) != 0 {
+		t.Fatalf("Inclusivity = %v", v)
+	}
+}
+
+func TestLAInclusivityViolation(t *testing.T) {
+	run := &LARun{
+		Proposals: map[ident.ProcessID]lattice.Set{0: set(0, "a")},
+		Decisions: map[ident.ProcessID]lattice.Set{0: set(1, "b")},
+	}
+	if v := run.Inclusivity(); len(v) != 1 {
+		t.Fatalf("Inclusivity = %v", v)
+	}
+}
+
+func TestLANonTriviality(t *testing.T) {
+	// Decision includes a byz value: fine when |B| <= f.
+	run := &LARun{
+		Proposals: map[ident.ProcessID]lattice.Set{0: set(0, "a")},
+		Decisions: map[ident.ProcessID]lattice.Set{0: set(0, "a").Union(set(9, "evil"))},
+		ByzValues: []lattice.Set{set(9, "evil")},
+		F:         1,
+	}
+	if v := run.NonTriviality(); len(v) != 0 {
+		t.Fatalf("NonTriviality false positive: %v", v)
+	}
+	// Item appearing from nowhere: violation.
+	run.ByzValues = nil
+	if v := run.NonTriviality(); len(v) != 1 {
+		t.Fatalf("NonTriviality must flag unattributed items: %v", v)
+	}
+	// More byz values than f: violation.
+	run.ByzValues = []lattice.Set{set(9, "evil"), set(8, "evil2")}
+	if v := run.NonTriviality(); len(v) == 0 {
+		t.Fatal("NonTriviality must flag |B| > f")
+	}
+}
+
+func TestLASafetyOnlySkipsLiveness(t *testing.T) {
+	run := &LARun{
+		Proposals: map[ident.ProcessID]lattice.Set{0: set(0, "a"), 1: set(1, "b")},
+		Decisions: map[ident.ProcessID]lattice.Set{0: set(0, "a").Union(set(1, "b"))},
+	}
+	if v := run.SafetyOnly(); len(v) != 0 {
+		t.Fatalf("SafetyOnly = %v", v)
+	}
+	if v := run.All(); len(v) != 1 {
+		t.Fatalf("All must include liveness: %v", v)
+	}
+}
+
+func TestGLACleanRun(t *testing.T) {
+	a, b, c := set(0, "a"), set(1, "b"), set(0, "c")
+	run := &GLARun{
+		DecisionSeqs: map[ident.ProcessID][]lattice.Set{
+			0: {a, a.Union(b), a.Union(b).Union(c)},
+			1: {a.Union(b), a.Union(b).Union(c)},
+		},
+		Inputs: map[ident.ProcessID]lattice.Set{0: a.Union(c), 1: b},
+	}
+	if v := run.All(2); len(v) != 0 {
+		t.Fatalf("clean GLA run flagged: %v", v)
+	}
+}
+
+func TestGLALocalStabilityViolation(t *testing.T) {
+	a, b := set(0, "a"), set(1, "b")
+	run := &GLARun{
+		DecisionSeqs: map[ident.ProcessID][]lattice.Set{0: {a.Union(b), a}},
+		Inputs:       map[ident.ProcessID]lattice.Set{0: a},
+	}
+	if v := run.LocalStability(); len(v) != 1 {
+		t.Fatalf("LocalStability = %v", v)
+	}
+}
+
+func TestGLAComparabilityAcrossProcesses(t *testing.T) {
+	a, b := set(0, "a"), set(1, "b")
+	run := &GLARun{
+		DecisionSeqs: map[ident.ProcessID][]lattice.Set{
+			0: {a},
+			1: {b},
+		},
+		Inputs: map[ident.ProcessID]lattice.Set{0: a, 1: b},
+	}
+	if v := run.Comparability(); len(v) != 1 {
+		t.Fatalf("Comparability = %v", v)
+	}
+	// Same-size equal sets are fine.
+	run.DecisionSeqs[1] = []lattice.Set{a}
+	if v := run.Comparability(); len(v) != 0 {
+		t.Fatalf("equal decisions flagged: %v", v)
+	}
+}
+
+func TestGLAInclusivity(t *testing.T) {
+	a, b := set(0, "a"), set(0, "b")
+	run := &GLARun{
+		DecisionSeqs: map[ident.ProcessID][]lattice.Set{0: {a}},
+		Inputs:       map[ident.ProcessID]lattice.Set{0: a.Union(b)},
+	}
+	v := run.Inclusivity()
+	if len(v) != 1 || !strings.Contains(v[0], "p0:b") {
+		t.Fatalf("Inclusivity = %v", v)
+	}
+}
+
+func TestGLANonTrivialityAndLiveness(t *testing.T) {
+	a := set(0, "a")
+	evil := set(7, "evil")
+	run := &GLARun{
+		DecisionSeqs: map[ident.ProcessID][]lattice.Set{0: {a.Union(evil)}},
+		Inputs:       map[ident.ProcessID]lattice.Set{0: a},
+	}
+	if v := run.NonTriviality(); len(v) != 1 {
+		t.Fatalf("NonTriviality = %v", v)
+	}
+	run.ByzValues = []lattice.Set{evil}
+	if v := run.NonTriviality(); len(v) != 0 {
+		t.Fatalf("NonTriviality with attribution = %v", v)
+	}
+	if v := run.Liveness(2); len(v) != 1 {
+		t.Fatalf("Liveness = %v", v)
+	}
+}

@@ -1,0 +1,131 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+)
+
+// GLARun is the ground truth of a generalized run (§6.1 specification).
+type GLARun struct {
+	// DecisionSeqs maps each correct process to its ordered sequence of
+	// decisions Dec_i.
+	DecisionSeqs map[ident.ProcessID][]lattice.Set
+	// Inputs maps each correct process to all values it received
+	// (union of its batches); Inclusivity requires each to eventually
+	// appear in a decision of that process.
+	Inputs map[ident.ProcessID]lattice.Set
+	// ByzValues are Byzantine-attributable disclosed values; the
+	// generalized Non-Triviality bound allows finitely many (at most
+	// one per Byzantine process per round).
+	ByzValues []lattice.Set
+}
+
+// LocalStability checks each sequence is non-decreasing (dec_h ⊆ dec_{h+1}).
+func (r *GLARun) LocalStability() []string {
+	var v []string
+	for _, p := range sortedProcs(r.DecisionSeqs) {
+		seq := r.DecisionSeqs[p]
+		for h := 1; h < len(seq); h++ {
+			if !seq[h-1].SubsetOf(seq[h]) {
+				v = append(v, fmt.Sprintf("local-stability: %v dec[%d] ⊄ dec[%d]", p, h-1, h))
+			}
+		}
+	}
+	return v
+}
+
+// Comparability checks that every pair of decisions — across processes
+// and rounds — is comparable.
+func (r *GLARun) Comparability() []string {
+	var all []struct {
+		p ident.ProcessID
+		h int
+		d lattice.Set
+	}
+	for _, p := range sortedProcs(r.DecisionSeqs) {
+		for h, d := range r.DecisionSeqs[p] {
+			all = append(all, struct {
+				p ident.ProcessID
+				h int
+				d lattice.Set
+			}{p, h, d})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d.Len() < all[j].d.Len() })
+	var v []string
+	for i := 1; i < len(all); i++ {
+		// After sorting by size, chainhood is equivalent to each element
+		// being a subset of the next (checking O(n) pairs instead of O(n²)).
+		if !all[i-1].d.SubsetOf(all[i].d) {
+			v = append(v, fmt.Sprintf("comparability: dec[%d](%v) and dec[%d](%v) are incomparable",
+				all[i-1].h, all[i-1].p, all[i].h, all[i].p))
+		}
+	}
+	return v
+}
+
+// Inclusivity checks every input of every correct process eventually
+// appears in one of that process's decisions.
+func (r *GLARun) Inclusivity() []string {
+	var v []string
+	for _, p := range sortedProcs(r.Inputs) {
+		seq := r.DecisionSeqs[p]
+		var last lattice.Set
+		if len(seq) > 0 {
+			last = seq[len(seq)-1] // sequences are non-decreasing
+		}
+		missing := r.Inputs[p].Minus(last)
+		if len(missing) > 0 {
+			v = append(v, fmt.Sprintf("inclusivity: %v inputs %v never decided", p, missing))
+		}
+	}
+	return v
+}
+
+// NonTriviality checks every decision is bounded by the union of all
+// correct inputs and the Byzantine-attributable values.
+func (r *GLARun) NonTriviality() []string {
+	bound := lattice.Empty()
+	for _, in := range r.Inputs {
+		bound = bound.Union(in)
+	}
+	for _, b := range r.ByzValues {
+		bound = bound.Union(b)
+	}
+	var v []string
+	for _, p := range sortedProcs(r.DecisionSeqs) {
+		for h, d := range r.DecisionSeqs[p] {
+			if !d.SubsetOf(bound) {
+				v = append(v, fmt.Sprintf("non-triviality: %v dec[%d] contains unproposed items %v",
+					p, h, d.Minus(bound)))
+			}
+		}
+	}
+	return v
+}
+
+// Liveness checks every correct process performed at least minDecisions.
+func (r *GLARun) Liveness(minDecisions int) []string {
+	var v []string
+	for _, p := range sortedProcs(r.DecisionSeqs) {
+		if len(r.DecisionSeqs[p]) < minDecisions {
+			v = append(v, fmt.Sprintf("liveness: %v decided %d times, want >= %d",
+				p, len(r.DecisionSeqs[p]), minDecisions))
+		}
+	}
+	return v
+}
+
+// All runs every GLA check (liveness with the given minimum).
+func (r *GLARun) All(minDecisions int) []string {
+	var v []string
+	v = append(v, r.Liveness(minDecisions)...)
+	v = append(v, r.LocalStability()...)
+	v = append(v, r.Comparability()...)
+	v = append(v, r.Inclusivity()...)
+	v = append(v, r.NonTriviality()...)
+	return v
+}

@@ -1,0 +1,125 @@
+// Package check verifies the paper's correctness properties over
+// executed runs: the one-shot Byzantine Lattice Agreement specification
+// (§3.1), the generalized specification (§6.1) and the RSM read/update
+// properties (§7.1). Checkers return human-readable violation lists so
+// both tests and the experiment harness can assert emptiness or count
+// violations under deliberately broken configurations.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+)
+
+// LARun is the ground truth of a one-shot run needed to check the LA
+// specification.
+type LARun struct {
+	// Proposals maps each correct process to its initial value pro_i.
+	Proposals map[ident.ProcessID]lattice.Set
+	// Decisions maps each correct process to its decision dec_i (absent
+	// if it never decided).
+	Decisions map[ident.ProcessID]lattice.Set
+	// ByzValues are the values attributable to Byzantine processes
+	// (each Byzantine process commits to at most one value through the
+	// disclosure reliable broadcast); used by Non-Triviality.
+	ByzValues []lattice.Set
+	// F is the tolerated fault bound the run was configured with.
+	F int
+}
+
+func sortedProcs[V any](m map[ident.ProcessID]V) []ident.ProcessID {
+	out := make([]ident.ProcessID, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Liveness checks that every correct process decided.
+func (r *LARun) Liveness() []string {
+	var v []string
+	for _, p := range sortedProcs(r.Proposals) {
+		if _, ok := r.Decisions[p]; !ok {
+			v = append(v, fmt.Sprintf("liveness: %v never decided", p))
+		}
+	}
+	return v
+}
+
+// Comparability checks that all decisions form a chain.
+func (r *LARun) Comparability() []string {
+	var v []string
+	procs := sortedProcs(r.Decisions)
+	for i := 0; i < len(procs); i++ {
+		for j := i + 1; j < len(procs); j++ {
+			a, b := r.Decisions[procs[i]], r.Decisions[procs[j]]
+			if !a.Comparable(b) {
+				v = append(v, fmt.Sprintf("comparability: dec(%v)=%v and dec(%v)=%v are incomparable",
+					procs[i], a, procs[j], b))
+			}
+		}
+	}
+	return v
+}
+
+// Inclusivity checks pro_i ≤ dec_i for every decided correct process.
+func (r *LARun) Inclusivity() []string {
+	var v []string
+	for _, p := range sortedProcs(r.Decisions) {
+		pro, ok := r.Proposals[p]
+		if !ok {
+			continue
+		}
+		if !pro.SubsetOf(r.Decisions[p]) {
+			v = append(v, fmt.Sprintf("inclusivity: pro(%v)=%v ⊄ dec(%v)=%v", p, pro, p, r.Decisions[p]))
+		}
+	}
+	return v
+}
+
+// NonTriviality checks dec_i ≤ ⊕(X ∪ B) with X the correct proposals
+// and B the (≤ f) Byzantine-attributable values.
+func (r *LARun) NonTriviality() []string {
+	var v []string
+	if len(r.ByzValues) > r.F {
+		v = append(v, fmt.Sprintf("non-triviality: |B|=%d exceeds f=%d", len(r.ByzValues), r.F))
+	}
+	bound := lattice.Empty()
+	for _, pro := range r.Proposals {
+		bound = bound.Union(pro)
+	}
+	for _, b := range r.ByzValues {
+		bound = bound.Union(b)
+	}
+	for _, p := range sortedProcs(r.Decisions) {
+		if !r.Decisions[p].SubsetOf(bound) {
+			extra := r.Decisions[p].Minus(bound)
+			v = append(v, fmt.Sprintf("non-triviality: dec(%v) contains unproposed items %v", p, extra))
+		}
+	}
+	return v
+}
+
+// All runs every LA check and returns the combined violations.
+func (r *LARun) All() []string {
+	var v []string
+	v = append(v, r.Liveness()...)
+	v = append(v, r.Comparability()...)
+	v = append(v, r.Inclusivity()...)
+	v = append(v, r.NonTriviality()...)
+	return v
+}
+
+// SafetyOnly runs every check except Liveness (for runs cut short by a
+// horizon, where safety must still hold).
+func (r *LARun) SafetyOnly() []string {
+	var v []string
+	v = append(v, r.Comparability()...)
+	v = append(v, r.Inclusivity()...)
+	v = append(v, r.NonTriviality()...)
+	return v
+}

@@ -1,0 +1,150 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"bgla/internal/lattice"
+)
+
+// OpRecord is one completed client operation extracted from a run.
+type OpRecord struct {
+	ID    string
+	Kind  string // "update" or "read"
+	Cmd   lattice.Item
+	Start uint64
+	End   uint64
+	Value lattice.Set // read result (reads only)
+}
+
+// RSMHistory checks the §7.1 specification over a set of completed
+// operations of correct clients.
+type RSMHistory struct {
+	Ops []OpRecord
+	// DecidedByCorrect is the union-closure witness for Read Validity:
+	// a read value is valid if some correct replica decided it (pass
+	// the set of all decision values of correct replicas).
+	DecidedByCorrect []lattice.Set
+}
+
+func (h *RSMHistory) reads() []OpRecord {
+	var out []OpRecord
+	for _, op := range h.Ops {
+		if op.Kind == "read" {
+			out = append(out, op)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].End < out[j].End })
+	return out
+}
+
+func (h *RSMHistory) updates() []OpRecord {
+	var out []OpRecord
+	for _, op := range h.Ops {
+		if op.Kind == "update" {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// ReadValidity: every read value reflects a state of the RSM, i.e. was
+// decided by some correct replica.
+func (h *RSMHistory) ReadValidity() []string {
+	var v []string
+	for _, r := range h.reads() {
+		ok := false
+		for _, d := range h.DecidedByCorrect {
+			if r.Value.Equal(d) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			v = append(v, fmt.Sprintf("read-validity: %s returned a value no correct replica decided", r.ID))
+		}
+	}
+	return v
+}
+
+// ReadConsistency: any two read values are comparable.
+func (h *RSMHistory) ReadConsistency() []string {
+	reads := h.reads()
+	sort.Slice(reads, func(i, j int) bool { return reads[i].Value.Len() < reads[j].Value.Len() })
+	var v []string
+	for i := 1; i < len(reads); i++ {
+		if !reads[i-1].Value.SubsetOf(reads[i].Value) {
+			v = append(v, fmt.Sprintf("read-consistency: %s and %s returned incomparable values",
+				reads[i-1].ID, reads[i].ID))
+		}
+	}
+	return v
+}
+
+// ReadMonotonicity: r1 ends before r2 starts => v1 ⊆ v2.
+func (h *RSMHistory) ReadMonotonicity() []string {
+	reads := h.reads()
+	var v []string
+	for i := 0; i < len(reads); i++ {
+		for j := 0; j < len(reads); j++ {
+			if reads[i].End < reads[j].Start && !reads[i].Value.SubsetOf(reads[j].Value) {
+				v = append(v, fmt.Sprintf("read-monotonicity: %s ⊄ later %s", reads[i].ID, reads[j].ID))
+			}
+		}
+	}
+	return v
+}
+
+// UpdateStability: u1 ends before u2 starts => every read containing
+// cmd(u2) also contains cmd(u1).
+func (h *RSMHistory) UpdateStability() []string {
+	ups := h.updates()
+	var v []string
+	for _, u1 := range ups {
+		for _, u2 := range ups {
+			if u1.End >= u2.Start {
+				continue
+			}
+			for _, r := range h.reads() {
+				if r.Value.Contains(u2.Cmd) && !r.Value.Contains(u1.Cmd) {
+					v = append(v, fmt.Sprintf("update-stability: read %s has %s's cmd but not earlier %s's",
+						r.ID, u2.ID, u1.ID))
+				}
+			}
+		}
+	}
+	return v
+}
+
+// UpdateVisibility: u ends before r starts => r includes cmd(u).
+func (h *RSMHistory) UpdateVisibility() []string {
+	var v []string
+	for _, u := range h.updates() {
+		for _, r := range h.reads() {
+			if u.End < r.Start && !r.Value.Contains(u.Cmd) {
+				v = append(v, fmt.Sprintf("update-visibility: read %s misses completed update %s", r.ID, u.ID))
+			}
+		}
+	}
+	return v
+}
+
+// Liveness checks that every operation in Expected completed.
+func (h *RSMHistory) Liveness(expected int) []string {
+	if len(h.Ops) < expected {
+		return []string{fmt.Sprintf("liveness: %d/%d operations completed", len(h.Ops), expected)}
+	}
+	return nil
+}
+
+// All runs every RSM check.
+func (h *RSMHistory) All(expectedOps int) []string {
+	var v []string
+	v = append(v, h.Liveness(expectedOps)...)
+	v = append(v, h.ReadValidity()...)
+	v = append(v, h.ReadConsistency()...)
+	v = append(v, h.ReadMonotonicity()...)
+	v = append(v, h.UpdateStability()...)
+	v = append(v, h.UpdateVisibility()...)
+	return v
+}

@@ -1,0 +1,55 @@
+// Package core holds the pieces shared by every lattice-agreement
+// protocol in the repository: the problem-model arithmetic (Byzantine
+// quorum sizes, the ⌊(n-1)/3⌋ resilience bound of Theorem 1), the
+// Safe-values Set (SvS) tracker of the Values Disclosure Phase, and the
+// ack tallies used by GWTS proposers, acceptors and the RSM
+// confirmation plug-in.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxFaulty returns the largest tolerable number of Byzantine processes
+// for a system of n processes: ⌊(n-1)/3⌋ (Theorem 1).
+func MaxFaulty(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n - 1) / 3
+}
+
+// AckQuorum returns the Byzantine ack quorum ⌊(n+f)/2⌋+1 used for
+// commitment throughout the paper (Definition 1). Any two such quorums
+// intersect in at least one correct process, and n-f correct processes
+// always suffice to form one when n ≥ 3f+1.
+func AckQuorum(n, f int) int { return (n+f)/2 + 1 }
+
+// CorrectAckFloor returns ⌊(n-f)/2⌋+1, the minimum number of *correct*
+// acceptors inside any ack quorum (used by Lemma 1's intersection
+// argument and mirrored by the checkers).
+func CorrectAckFloor(n, f int) int { return (n-f)/2 + 1 }
+
+// ReadQuorum returns f+1, the number of matching replica answers an RSM
+// client needs so at least one comes from a correct replica (Algs 5-6).
+func ReadQuorum(f int) int { return f + 1 }
+
+// ErrTooFewProcesses reports a configuration below the 3f+1 bound.
+var ErrTooFewProcesses = errors.New("core: n < 3f+1 violates the Theorem 1 resilience bound")
+
+// ValidateConfig checks a system configuration. Protocols refuse to
+// start on invalid configurations; experiments that deliberately violate
+// the bound (experiment E2) construct machines with Unchecked variants.
+func ValidateConfig(n, f int) error {
+	if n <= 0 {
+		return fmt.Errorf("core: n = %d must be positive", n)
+	}
+	if f < 0 {
+		return fmt.Errorf("core: f = %d must be non-negative", f)
+	}
+	if n < 3*f+1 {
+		return fmt.Errorf("%w: n=%d f=%d", ErrTooFewProcesses, n, f)
+	}
+	return nil
+}

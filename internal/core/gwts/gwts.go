@@ -1,0 +1,511 @@
+// Package gwts implements Generalized Wait Till Safe (paper §6,
+// Algorithms 3 and 4), the round-based extension of WTS that decides an
+// unbounded sequence of growing values, plus the proposer plug-in of
+// Algorithm 7 that serves RSM read confirmations.
+//
+// Each Machine plays proposer and acceptor. Values received between
+// rounds are batched; each round runs a disclosure phase (reliable
+// broadcast of the batch) and a deciding phase (ack requests answered by
+// *reliably broadcast* acceptor acks, making acceptance public). Two
+// defenses distinguish GWTS from a naive repetition of WTS:
+//
+//   - acceptors only serve rounds r ≤ Safe_r, and Safe_r advances only
+//     when round Safe_r produced a quorum-committed proposal (a
+//     "legitimate end"), so Byzantine proposers cannot race ahead
+//     through rounds and starve correct proposers (§6.2);
+//   - acks are reliably broadcast, so any correct proposer can adopt a
+//     committed proposal of round r and decide it, provided it contains
+//     the proposer's previous decision (Local Stability guard, Alg 3
+//     line 38).
+//
+// Faithfulness notes (see DESIGN.md §2): the SAFE universe is cumulative
+// across rounds, and the acceptor-style SAFEA ("safe at any round")
+// guard is used uniformly, which is what makes cross-round proposals
+// (Proposed_set accumulates forever) processable.
+package gwts
+
+import (
+	"fmt"
+
+	"bgla/internal/core"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+	"bgla/internal/rbc"
+)
+
+// State is the proposer state of Alg 3.
+type State int
+
+// Proposer states.
+const (
+	NewRound State = iota
+	Disclosing
+	Proposing
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case NewRound:
+		return "newround"
+	case Disclosing:
+		return "disclosing"
+	case Proposing:
+		return "proposing"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config configures one GWTS process.
+type Config struct {
+	Self ident.ProcessID
+	N    int
+	F    int
+	// InitialValues seed Batch[0] (tests and benchmarks; RSM replicas
+	// receive values through msg.NewValue instead).
+	InitialValues []lattice.Item
+	// MinRounds makes the proposer join rounds 0..MinRounds-1 even with
+	// empty batches, reproducing the paper's unconditional round
+	// progression for a finite prefix.
+	MinRounds int
+	// Subscribers receive a msg.Decide notification for every decision
+	// (the replica->client push of Algorithm 5/6).
+	Subscribers []ident.ProcessID
+	// MaxWaiting caps the unsafe-message buffer (0 = 8192).
+	MaxWaiting int
+	// MaxPendingConf caps buffered read-confirmation requests (0 = 1024).
+	MaxPendingConf int
+
+	// DisableRoundGate is an ABLATION switch (experiment E12c): the
+	// acceptor serves requests for any round instead of only r ≤ Safe_r,
+	// removing the §6.2 defense against round-racing Byzantine
+	// proposers. Never use outside experiments.
+	DisableRoundGate bool
+}
+
+type pendingKind int
+
+const (
+	pendMsg      pendingKind = iota // plain protocol message
+	pendDelivery                    // buffered RBC delivery (AckB)
+)
+
+type pending struct {
+	kind pendingKind
+	from ident.ProcessID // network sender (pendMsg) or RBC source (pendDelivery)
+	m    msg.Msg
+}
+
+type pendingConf struct {
+	client ident.ProcessID
+	value  lattice.Set
+}
+
+// Machine is one GWTS process.
+type Machine struct {
+	proto.Recorder
+	cfg    Config
+	quorum int
+
+	peer *rbc.Peer
+	svs  *core.RoundSVS
+
+	// Proposer state (Alg 3).
+	state    State
+	r        int // current round; -1 before the first round
+	ts       uint32
+	pendingV lattice.Set // values waiting for the next batch (Batch[r+1])
+	inputs   lattice.Set // every value ever received (for Inclusivity checking)
+	proposed lattice.Set // Proposed_set (cumulative)
+	decided  lattice.Set // Decided_set
+	decSeq   []lattice.Set
+
+	// Acceptor state (Alg 4).
+	accepted lattice.Set
+	safeR    int
+	acked    map[string]bool // (dest,ts,round) ack broadcasts already emitted
+
+	// Shared ack bookkeeping (Ack_history for both roles).
+	tally *core.AckTally
+
+	waiting  []pending
+	confs    []pendingConf
+	rejected int
+}
+
+// New builds a GWTS machine; the configuration must satisfy n >= 3f+1.
+func New(cfg Config) (*Machine, error) {
+	if err := core.ValidateConfig(cfg.N, cfg.F); err != nil {
+		return nil, err
+	}
+	return NewUnchecked(cfg), nil
+}
+
+// NewUnchecked builds a machine without the resilience-bound check.
+func NewUnchecked(cfg Config) *Machine {
+	if cfg.MaxWaiting == 0 {
+		cfg.MaxWaiting = 8192
+	}
+	if cfg.MaxPendingConf == 0 {
+		cfg.MaxPendingConf = 1024
+	}
+	m := &Machine{
+		cfg:      cfg,
+		quorum:   core.AckQuorum(cfg.N, cfg.F),
+		peer:     rbc.NewPeer(cfg.Self, cfg.N, cfg.F),
+		svs:      core.NewRoundSVS(),
+		state:    NewRound,
+		r:        -1,
+		acked:    make(map[string]bool),
+		tally:    core.NewAckTally(),
+		pendingV: lattice.FromItems(cfg.InitialValues...),
+		inputs:   lattice.FromItems(cfg.InitialValues...),
+	}
+	return m
+}
+
+// ID implements proto.Machine.
+func (m *Machine) ID() ident.ProcessID { return m.cfg.Self }
+
+// State returns the proposer state.
+func (m *Machine) State() State { return m.state }
+
+// Round returns the current round (-1 before the first).
+func (m *Machine) Round() int { return m.r }
+
+// SafeRound returns the acceptor's Safe_r.
+func (m *Machine) SafeRound() int { return m.safeR }
+
+// Decisions returns the sequence of decisions so far.
+func (m *Machine) Decisions() []lattice.Set { return m.decSeq }
+
+// Decided returns the latest decision (Decided_set).
+func (m *Machine) Decided() lattice.Set { return m.decided }
+
+// Inputs returns the union of all values this process received.
+func (m *Machine) Inputs() lattice.Set { return m.inputs }
+
+// Proposed returns the cumulative Proposed_set.
+func (m *Machine) Proposed() lattice.Set { return m.proposed }
+
+// Rejected returns the count of discarded messages.
+func (m *Machine) Rejected() int { return m.rejected + m.peer.Rejected() }
+
+func discTag(round int) string { return fmt.Sprintf("gwts/disc/%d", round) }
+
+func ackTag(dest ident.ProcessID, ts uint32, round int) string {
+	return fmt.Sprintf("gwts/ack/%v/%d/%d", dest, ts, round)
+}
+
+// Start begins round 0 when there is anything to propose (Alg 3 line 11).
+func (m *Machine) Start() []proto.Output {
+	if !m.pendingV.IsEmpty() || m.cfg.MinRounds > 0 {
+		return m.startRound(0)
+	}
+	return nil
+}
+
+// startRound enters the Values Disclosure Phase of the given round
+// (Alg 3 lines 11-15).
+func (m *Machine) startRound(round int) []proto.Output {
+	m.state = Disclosing
+	m.r = round
+	batch := m.pendingV
+	m.pendingV = lattice.Empty()
+	m.proposed = m.proposed.Union(batch)
+	m.Emit(proto.JoinRoundEvent{Proc: m.cfg.Self, Round: round})
+	outs := m.peer.Broadcast(discTag(round), msg.Disclosure{Round: round, Value: batch})
+	// The machine's own RBC delivery arrives through the driver; the
+	// transition to proposing happens in onDisclosure once Counter[r]
+	// reaches n-f.
+	return outs
+}
+
+// Handle implements proto.Machine.
+func (m *Machine) Handle(from ident.ProcessID, in msg.Msg) []proto.Output {
+	if outs, handled := m.peer.Handle(from, in); handled {
+		for _, d := range m.peer.TakeDeliveries() {
+			outs = append(outs, m.onRBCDelivery(d)...)
+		}
+		return outs
+	}
+	switch v := in.(type) {
+	case msg.NewValue:
+		return m.onNewValue(v)
+	case msg.AckReq, msg.Nack:
+		return m.buffer(pending{kind: pendMsg, from: from, m: in})
+	case msg.CnfReq:
+		return m.onCnfReq(from, v)
+	case msg.Wakeup:
+		return nil
+	default:
+		m.rejected++
+		m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: from, Kind: in.Kind(), Reason: "unexpected kind"})
+		return nil
+	}
+}
+
+func (m *Machine) buffer(p pending) []proto.Output {
+	if len(m.waiting) >= m.cfg.MaxWaiting {
+		m.rejected++
+		m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: p.from, Kind: p.m.Kind(), Reason: "waiting buffer full"})
+		return nil
+	}
+	m.waiting = append(m.waiting, p)
+	return m.drainWaiting()
+}
+
+// onNewValue queues a client value for the next batch (Alg 3 lines 8-9)
+// and opportunistically starts a round.
+func (m *Machine) onNewValue(v msg.NewValue) []proto.Output {
+	it := v.Cmd
+	m.inputs = m.inputs.Union(lattice.Singleton(it))
+	if m.proposed.Contains(it) || m.pendingV.Contains(it) {
+		return nil // already in flight; set semantics make re-proposing redundant
+	}
+	m.pendingV = m.pendingV.Union(lattice.Singleton(it))
+	if m.state == NewRound {
+		return m.startRound(m.r + 1)
+	}
+	return nil
+}
+
+// onRBCDelivery dispatches validated reliable-broadcast deliveries:
+// disclosures feed the SvS; acceptor acks feed the shared Ack_history.
+func (m *Machine) onRBCDelivery(d rbc.Delivery) []proto.Output {
+	switch p := d.Payload.(type) {
+	case msg.Disclosure:
+		if d.Tag != discTag(p.Round) || p.Round < 0 {
+			m.rejected++
+			m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: d.Src, Kind: p.Kind(), Reason: "tag/round mismatch"})
+			return nil
+		}
+		return m.onDisclosure(d.Src, p)
+	case msg.AckB:
+		if d.Tag != ackTag(p.Dest, p.TS, p.Round) || p.Round < 0 {
+			m.rejected++
+			m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: d.Src, Kind: p.Kind(), Reason: "tag mismatch"})
+			return nil
+		}
+		return m.buffer(pending{kind: pendDelivery, from: d.Src, m: p})
+	default:
+		m.rejected++
+		m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: d.Src, Kind: d.Payload.Kind(), Reason: "unexpected rbc payload"})
+		return nil
+	}
+}
+
+// onDisclosure implements Alg 3 lines 16-20 plus the phase transition of
+// lines 22-25 and the join-on-demand round start (DESIGN.md §2 note 3).
+func (m *Machine) onDisclosure(src ident.ProcessID, d msg.Disclosure) []proto.Output {
+	if !m.svs.Add(d.Round, src, d.Value) {
+		return nil
+	}
+	var outs []proto.Output
+	if m.state == Disclosing && d.Round <= m.r {
+		m.proposed = m.proposed.Union(d.Value)
+	}
+	if m.state == Disclosing && m.svs.Count(m.r) >= m.cfg.N-m.cfg.F {
+		m.state = Proposing
+		m.ts++
+		outs = append(outs, proto.Bcast(msg.AckReq{Proposed: m.proposed, TS: m.ts, Round: m.r}))
+		// A quorum for this round may already be in Ack_history (the
+		// round legitimately ended while we were still disclosing).
+		outs = append(outs, m.tryDecide()...)
+	}
+	if m.state == NewRound && d.Round == m.r+1 {
+		outs = append(outs, m.startRound(m.r+1)...)
+	}
+	outs = append(outs, m.drainWaiting()...)
+	return outs
+}
+
+// drainWaiting processes buffered messages whose guards have become
+// true, to a fixed point.
+func (m *Machine) drainWaiting() []proto.Output {
+	var outs []proto.Output
+	for {
+		progressed := false
+		kept := m.waiting[:0]
+		for i, p := range m.waiting {
+			if progressed {
+				kept = append(kept, m.waiting[i:]...)
+				break
+			}
+			done, o := m.tryProcess(p)
+			if done {
+				progressed = true
+				outs = append(outs, o...)
+				continue
+			}
+			if m.dropStale(p) {
+				continue
+			}
+			kept = append(kept, p)
+		}
+		m.waiting = kept
+		if !progressed {
+			return outs
+		}
+	}
+}
+
+func (m *Machine) dropStale(p pending) bool {
+	if n, ok := p.m.(msg.Nack); ok {
+		return n.Round < m.r || (n.Round == m.r && n.TS < m.ts)
+	}
+	return false
+}
+
+func (m *Machine) tryProcess(p pending) (bool, []proto.Output) {
+	switch v := p.m.(type) {
+	case msg.AckReq:
+		// Acceptor guard (Alg 4 line 6): SAFEA(m) ∧ r ≤ Safe_r.
+		if v.Round < 0 || (!m.cfg.DisableRoundGate && v.Round > m.safeR) || !m.svs.SafeAny(v.Proposed) {
+			return false, nil
+		}
+		return true, m.acceptorOn(p.from, v)
+	case msg.AckB:
+		// Shared Ack_history intake (Alg 4 line 14 / Alg 3 line 34).
+		if (!m.cfg.DisableRoundGate && v.Round > m.safeR) || !m.svs.SafeAny(v.Accepted) {
+			return false, nil
+		}
+		return true, m.onAckB(p.from, v)
+	case msg.Nack:
+		// Proposer guard (Alg 3 line 28).
+		if m.state != Proposing || v.TS != m.ts || v.Round != m.r || !m.svs.SafeAny(v.Accepted) {
+			return false, nil
+		}
+		return true, m.onNack(v)
+	}
+	return false, nil
+}
+
+// acceptorOn implements Alg 4 lines 6-13: ack via reliable broadcast,
+// nack point-to-point.
+func (m *Machine) acceptorOn(from ident.ProcessID, req msg.AckReq) []proto.Output {
+	if m.accepted.SubsetOf(req.Proposed) {
+		m.accepted = req.Proposed
+		key := ackTag(from, req.TS, req.Round)
+		if m.acked[key] {
+			return nil // defensive: never reliable-broadcast the same tag twice
+		}
+		m.acked[key] = true
+		return m.peer.Broadcast(key, msg.AckB{Accepted: m.accepted, Dest: from, TS: req.TS, Round: req.Round})
+	}
+	out := proto.Send(from, msg.Nack{Accepted: m.accepted, TS: req.TS, Round: req.Round})
+	m.accepted = m.accepted.Union(req.Proposed)
+	return []proto.Output{out}
+}
+
+// onAckB records a publicly broadcast ack and advances Safe_r and the
+// decision rule.
+func (m *Machine) onAckB(src ident.ProcessID, a msg.AckB) []proto.Output {
+	m.tally.Add(src, a.Accepted, a.Dest, a.TS, a.Round)
+	var outs []proto.Output
+	// Acceptor side: advance Safe_r while rounds keep legitimately
+	// ending (Alg 4 lines 17-19). Buffered messages unlocked by the
+	// advance are picked up by the enclosing drainWaiting fixed point.
+	for m.tally.RoundReached(m.safeR, m.quorum) {
+		m.safeR++
+	}
+	// Proposer side: try to decide the current round (Alg 3 lines 37-41).
+	outs = append(outs, m.tryDecide()...)
+	// RSM plug-in (Alg 7): newly satisfied confirmations.
+	outs = append(outs, m.serveConfs()...)
+	return outs
+}
+
+// tryDecide decides the largest quorum-committed round-r proposal that
+// contains Decided_set.
+func (m *Machine) tryDecide() []proto.Output {
+	if m.state != Proposing {
+		return nil
+	}
+	var best lattice.Set
+	found := false
+	for _, e := range m.tally.AtQuorum(m.r, m.quorum) {
+		if m.decided.SubsetOf(e.Value) {
+			if !found || best.Len() < e.Value.Len() {
+				best = e.Value
+				found = true
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	m.decided = best
+	m.decSeq = append(m.decSeq, best)
+	m.state = NewRound
+	m.Emit(proto.DecideEvent{Proc: m.cfg.Self, Round: m.r, Value: best})
+	var outs []proto.Output
+	for _, sub := range m.cfg.Subscribers {
+		outs = append(outs, proto.Send(sub, msg.Decide{Value: best, Round: m.r}))
+	}
+	outs = append(outs, m.maybeStartNext()...)
+	return outs
+}
+
+// maybeStartNext starts round r+1 when there is a reason to: pending
+// values, an observed disclosure for r+1, the MinRounds floor, or —
+// crucial for Inclusivity — values of our own that no decision has
+// covered yet (the paper's proposers never stop joining rounds, which is
+// what lets Lemma 11's dissemination argument conclude; we only stop
+// once nothing of ours is outstanding).
+func (m *Machine) maybeStartNext() []proto.Output {
+	if m.state != NewRound {
+		return nil
+	}
+	next := m.r + 1
+	if !m.pendingV.IsEmpty() || m.svs.Count(next) > 0 || next < m.cfg.MinRounds ||
+		!m.proposed.SubsetOf(m.decided) {
+		return m.startRound(next)
+	}
+	return nil
+}
+
+// onNack implements the proposer refinement (Alg 3 lines 28-33).
+func (m *Machine) onNack(n msg.Nack) []proto.Output {
+	merged := n.Accepted.Union(m.proposed)
+	if merged.Equal(m.proposed) {
+		return nil
+	}
+	m.proposed = merged
+	m.ts++
+	m.Emit(proto.RefineEvent{Proc: m.cfg.Self, Round: m.r, TS: m.ts})
+	return []proto.Output{proto.Bcast(msg.AckReq{Proposed: m.proposed, TS: m.ts, Round: m.r})}
+}
+
+// onCnfReq implements the RSM confirmation plug-in (Alg 7): reply once
+// the requested value appears quorum-many times in Ack_history.
+func (m *Machine) onCnfReq(from ident.ProcessID, req msg.CnfReq) []proto.Output {
+	if m.tally.AnyQuorumValue(req.Value, m.quorum) {
+		return []proto.Output{proto.Send(from, msg.CnfRep{Value: req.Value})}
+	}
+	if len(m.confs) >= m.cfg.MaxPendingConf {
+		m.rejected++
+		m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: from, Kind: req.Kind(), Reason: "confirmation buffer full"})
+		return nil
+	}
+	m.confs = append(m.confs, pendingConf{client: from, value: req.Value})
+	return nil
+}
+
+// serveConfs replies to buffered confirmations that became satisfiable.
+func (m *Machine) serveConfs() []proto.Output {
+	var outs []proto.Output
+	kept := m.confs[:0]
+	for _, c := range m.confs {
+		if m.tally.AnyQuorumValue(c.value, m.quorum) {
+			outs = append(outs, proto.Send(c.client, msg.CnfRep{Value: c.value}))
+			continue
+		}
+		kept = append(kept, c)
+	}
+	m.confs = kept
+	return outs
+}

@@ -1,0 +1,289 @@
+package sbs
+
+import (
+	"testing"
+
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/sig"
+)
+
+func testCrypto(t *testing.T, n, f int) []*Crypto {
+	t.Helper()
+	kc := sig.NewSim(n, 1)
+	quorum := (n+f)/2 + 1
+	out := make([]*Crypto, n)
+	for i := 0; i < n; i++ {
+		out[i] = NewCrypto(kc, ident.ProcessID(i), quorum)
+	}
+	return out
+}
+
+func TestSignVerifyValue(t *testing.T) {
+	cs := testCrypto(t, 4, 1)
+	v := lattice.FromStrings(0, "x")
+	sv := cs[0].SignValue(2, v)
+	if sv.Author != 0 || sv.Round != 2 || !sv.Value.Equal(v) {
+		t.Fatalf("SignValue fields: %+v", sv)
+	}
+	if !cs[1].VerifyValue(sv) {
+		t.Fatal("valid value rejected")
+	}
+	sv.Round = 3 // signature binds the round
+	if cs[1].VerifyValue(sv) {
+		t.Fatal("round-tampered value accepted")
+	}
+	sv.Round = 2
+	sv.Author = 1 // and the author
+	if cs[1].VerifyValue(sv) {
+		t.Fatal("author-tampered value accepted")
+	}
+}
+
+func TestVerifyConfPair(t *testing.T) {
+	cs := testCrypto(t, 4, 1)
+	a := cs[0].SignValue(0, lattice.FromStrings(0, "a"))
+	b := cs[0].SignValue(0, lattice.FromStrings(0, "b"))
+	c := cs[1].SignValue(0, lattice.FromStrings(1, "c"))
+	d := cs[0].SignValue(1, lattice.FromStrings(0, "a"))
+	if !cs[2].VerifyConfPair(msg.ConflictPair{X: a, Y: b}) {
+		t.Fatal("real conflict rejected")
+	}
+	if cs[2].VerifyConfPair(msg.ConflictPair{X: a, Y: a}) {
+		t.Fatal("identical values are not a conflict")
+	}
+	if cs[2].VerifyConfPair(msg.ConflictPair{X: a, Y: c}) {
+		t.Fatal("different authors are not a conflict")
+	}
+	if cs[2].VerifyConfPair(msg.ConflictPair{X: a, Y: d}) {
+		t.Fatal("different rounds are not a conflict")
+	}
+	forged := b
+	forged.Sig = []byte("junk")
+	if cs[2].VerifyConfPair(msg.ConflictPair{X: a, Y: forged}) {
+		t.Fatal("forged member accepted")
+	}
+}
+
+// buildProof returns a quorum of safe_acks listing sv.
+func buildProof(cs []*Crypto, sv msg.SignedValue, signers []int) []msg.SafeAck {
+	keys := Keys([]msg.SignedValue{sv})
+	var proof []msg.SafeAck
+	for _, s := range signers {
+		proof = append(proof, cs[s].SignSafeAck(sv.Round, keys, nil))
+	}
+	return proof
+}
+
+func TestAllSafeAcceptsValidProof(t *testing.T) {
+	cs := testCrypto(t, 4, 1) // quorum 3
+	sv := cs[0].SignValue(0, lattice.FromStrings(0, "v"))
+	pv := msg.ProofValue{SV: sv, Proof: buildProof(cs, sv, []int{1, 2, 3})}
+	if !cs[1].AllSafe([]msg.ProofValue{pv}) {
+		t.Fatal("valid proof rejected")
+	}
+	if !cs[1].AllSafe(nil) {
+		t.Fatal("empty set is vacuously safe")
+	}
+}
+
+func TestAllSafeRejections(t *testing.T) {
+	cs := testCrypto(t, 4, 1)
+	sv := cs[0].SignValue(0, lattice.FromStrings(0, "v"))
+	full := buildProof(cs, sv, []int{1, 2, 3})
+
+	// Below quorum.
+	if cs[1].AllSafe([]msg.ProofValue{{SV: sv, Proof: full[:2]}}) {
+		t.Fatal("sub-quorum proof accepted")
+	}
+	// Duplicate signers.
+	dup := []msg.SafeAck{full[0], full[0], full[1]}
+	if cs[1].AllSafe([]msg.ProofValue{{SV: sv, Proof: dup}}) {
+		t.Fatal("duplicate-signer proof accepted")
+	}
+	// Value not listed by one ack.
+	other := cs[1].SignValue(0, lattice.FromStrings(1, "w"))
+	wrong := append([]msg.SafeAck{}, full[:2]...)
+	wrong = append(wrong, cs[3].SignSafeAck(0, Keys([]msg.SignedValue{other}), nil))
+	if cs[1].AllSafe([]msg.ProofValue{{SV: sv, Proof: wrong}}) {
+		t.Fatal("proof with non-listing ack accepted")
+	}
+	// Conflict reported by one ack.
+	conf := cs[0].SignValue(0, lattice.FromStrings(0, "other"))
+	cp := msg.ConflictPair{X: sv, Y: conf}
+	conflicted := append([]msg.SafeAck{}, full[:2]...)
+	conflicted = append(conflicted, cs[3].SignSafeAck(0, Keys([]msg.SignedValue{sv}), []msg.ConflictPair{cp}))
+	if cs[1].AllSafe([]msg.ProofValue{{SV: sv, Proof: conflicted}}) {
+		t.Fatal("conflicted proof accepted")
+	}
+	// Tampered ack signature.
+	bad := append([]msg.SafeAck{}, full...)
+	bad[2].Sig = []byte("junk")
+	if cs[1].AllSafe([]msg.ProofValue{{SV: sv, Proof: bad}}) {
+		t.Fatal("forged ack accepted")
+	}
+	// Forged value itself.
+	fv := sv
+	fv.Sig = []byte("junk")
+	if cs[1].AllSafe([]msg.ProofValue{{SV: fv, Proof: full}}) {
+		t.Fatal("forged value accepted")
+	}
+	// Round mismatch between value and acks.
+	rv := cs[0].SignValue(1, lattice.FromStrings(0, "v"))
+	if cs[1].AllSafe([]msg.ProofValue{{SV: rv, Proof: buildProof(cs, sv, []int{1, 2, 3})}}) {
+		t.Fatal("round-mismatched proof accepted")
+	}
+}
+
+func TestSafetySetRemoveConflicts(t *testing.T) {
+	cs := testCrypto(t, 4, 1)
+	s := NewSafetySet()
+	a := cs[0].SignValue(0, lattice.FromStrings(0, "a"))
+	a2 := cs[0].SignValue(0, lattice.FromStrings(0, "a2"))
+	b := cs[1].SignValue(0, lattice.FromStrings(1, "b"))
+	if !s.Add(a) || !s.Add(b) {
+		t.Fatal("fresh adds")
+	}
+	if !s.Add(a) {
+		t.Fatal("idempotent re-add")
+	}
+	if s.Add(a2) {
+		t.Fatal("conflicting add must fail")
+	}
+	if s.LenRound(0) != 1 {
+		t.Fatalf("conflict must remove both: len=%d", s.LenRound(0))
+	}
+	if s.Add(a) {
+		t.Fatal("poisoned author must stay excluded")
+	}
+	// Other rounds unaffected.
+	a1 := cs[0].SignValue(1, lattice.FromStrings(0, "a"))
+	if !s.Add(a1) || s.LenRound(1) != 1 {
+		t.Fatal("poisoning must be per round")
+	}
+	vals := s.ValuesRound(0)
+	if len(vals) != 1 || vals[0].Author != 1 {
+		t.Fatalf("ValuesRound = %+v", vals)
+	}
+}
+
+func TestCandidatesFirstSeenWins(t *testing.T) {
+	cs := testCrypto(t, 4, 1)
+	c := NewCandidates()
+	a := cs[0].SignValue(0, lattice.FromStrings(0, "a"))
+	a2 := cs[0].SignValue(0, lattice.FromStrings(0, "a2"))
+	if got := c.ConflictsWith([]msg.SignedValue{a}); len(got) != 0 {
+		t.Fatal("no conflicts on empty candidates")
+	}
+	c.Observe([]msg.SignedValue{a})
+	got := c.ConflictsWith([]msg.SignedValue{a2})
+	if len(got) != 1 || !got[0].Y.Value.Equal(a.Value) {
+		t.Fatalf("conflict with first-seen missing: %+v", got)
+	}
+	c.Observe([]msg.SignedValue{a2}) // must NOT replace first
+	if got := c.ConflictsWith([]msg.SignedValue{a}); len(got) != 0 {
+		t.Fatal("first-seen value must remain the candidate")
+	}
+	// Conflicts inside one request.
+	got = c.ConflictsWith([]msg.SignedValue{a, a2})
+	if len(got) < 1 {
+		t.Fatal("intra-request conflict missing")
+	}
+}
+
+func TestPVSetOperations(t *testing.T) {
+	cs := testCrypto(t, 4, 1)
+	mk := func(i int, body string) msg.ProofValue {
+		return msg.ProofValue{SV: cs[i].SignValue(0, lattice.FromStrings(ident.ProcessID(i), body))}
+	}
+	a, b, c := mk(0, "a"), mk(1, "b"), mk(2, "c")
+	s := PVFromValues(a, b)
+	if s.Len() != 2 {
+		t.Fatal("len")
+	}
+	if !s.Equal(PVFromValues(b, a)) {
+		t.Fatal("order independence")
+	}
+	if s.Insert(a).Len() != 2 {
+		t.Fatal("duplicate insert")
+	}
+	u := s.Union(PVFromValues(c))
+	if u.Len() != 3 || !s.SubsetOf(u) || u.SubsetOf(s) {
+		t.Fatal("union/subset")
+	}
+	plain := u.Plain()
+	for i, body := range []string{"a", "b", "c"} {
+		if !plain.Contains(lattice.Item{Author: ident.ProcessID(i), Body: body}) {
+			t.Fatalf("plain missing %s", body)
+		}
+	}
+	if PVFromValues().Len() != 0 || !PVFromValues().Plain().IsEmpty() {
+		t.Fatal("empty PVSet")
+	}
+}
+
+func TestVerifyCert(t *testing.T) {
+	cs := testCrypto(t, 4, 1) // quorum 3
+	v := lattice.FromStrings(0, "v")
+	mkAck := func(i int, ts uint32, round int, val lattice.Set) msg.SignedAck {
+		return cs[i].SignAck(0, ts, round, val)
+	}
+	good := msg.DecidedCert{Round: 1, Value: v, Acks: []msg.SignedAck{
+		mkAck(1, 5, 1, v), mkAck(2, 5, 1, v), mkAck(3, 5, 1, v),
+	}}
+	if !cs[0].VerifyCert(good) {
+		t.Fatal("valid cert rejected")
+	}
+	// Below quorum.
+	if cs[0].VerifyCert(msg.DecidedCert{Round: 1, Value: v, Acks: good.Acks[:2]}) {
+		t.Fatal("sub-quorum cert accepted")
+	}
+	// Duplicate signer.
+	dup := msg.DecidedCert{Round: 1, Value: v, Acks: []msg.SignedAck{good.Acks[0], good.Acks[0], good.Acks[1]}}
+	if cs[0].VerifyCert(dup) {
+		t.Fatal("duplicate-signer cert accepted")
+	}
+	// Mismatched value.
+	w := lattice.FromStrings(9, "w")
+	mixed := msg.DecidedCert{Round: 1, Value: w, Acks: good.Acks}
+	if cs[0].VerifyCert(mixed) {
+		t.Fatal("value-mismatched cert accepted")
+	}
+	// Mixed ts.
+	odd := msg.DecidedCert{Round: 1, Value: v, Acks: []msg.SignedAck{
+		mkAck(1, 5, 1, v), mkAck(2, 6, 1, v), mkAck(3, 5, 1, v),
+	}}
+	if cs[0].VerifyCert(odd) {
+		t.Fatal("mixed-ts cert accepted")
+	}
+	// Forged signature.
+	forged := good
+	forged.Acks = append([]msg.SignedAck{}, good.Acks...)
+	forged.Acks[1].Sig = []byte("junk")
+	if cs[0].VerifyCert(forged) {
+		t.Fatal("forged cert accepted")
+	}
+}
+
+func TestVerifySafeAck(t *testing.T) {
+	cs := testCrypto(t, 4, 1)
+	sv := cs[0].SignValue(0, lattice.FromStrings(0, "v"))
+	keys := Keys([]msg.SignedValue{sv})
+	sa := cs[1].SignSafeAck(0, keys, nil)
+	if !cs[2].VerifySafeAck(sa) {
+		t.Fatal("valid safe_ack rejected")
+	}
+	tampered := sa
+	tampered.RcvdKeys = append([]string{}, sa.RcvdKeys...)
+	tampered.RcvdKeys[0] = "other"
+	if cs[2].VerifySafeAck(tampered) {
+		t.Fatal("tampered keys accepted")
+	}
+	// Invalid conflict pair inside an otherwise-signed ack.
+	bogusPair := msg.ConflictPair{X: sv, Y: sv}
+	withBad := cs[1].SignSafeAck(0, keys, []msg.ConflictPair{bogusPair})
+	if cs[2].VerifySafeAck(withBad) {
+		t.Fatal("safe_ack with invalid conflict pair accepted")
+	}
+}

@@ -1,0 +1,290 @@
+package sbs
+
+import (
+	"fmt"
+
+	"bgla/internal/core"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+	"bgla/internal/sig"
+)
+
+// State is the proposer state of Alg 8.
+type State int
+
+// Proposer states.
+const (
+	Init State = iota
+	Safetying
+	Proposing
+	Decided
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Init:
+		return "init"
+	case Safetying:
+		return "safetying"
+	case Proposing:
+		return "proposing"
+	case Decided:
+		return "decided"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config configures one SbS process.
+type Config struct {
+	Self ident.ProcessID
+	N    int
+	F    int
+	// Proposal is the initial value pro_i.
+	Proposal lattice.Set
+	// Keychain is the shared PKI.
+	Keychain sig.Keychain
+}
+
+// Machine is one SbS process (proposer + acceptor), implementing the
+// one-shot Safety-by-Signature algorithm (Algs 8-10).
+type Machine struct {
+	proto.Recorder
+	cfg    Config
+	quorum int
+	crypto *Crypto
+
+	// Proposer state (Alg 8).
+	state    State
+	safety   *SafetySet
+	safeAcks map[ident.ProcessID]msg.SafeAck
+	proposed PVSet
+	ackers   *ident.Set
+	ts       uint32
+	byz      map[ident.ProcessID]bool // byz[] detection array of Alg 8
+	decision lattice.Set
+
+	// Acceptor state (Alg 9).
+	candidates *Candidates
+	accepted   PVSet
+}
+
+// New builds an SbS machine; the configuration must satisfy n >= 3f+1
+// and provide a keychain.
+func New(cfg Config) (*Machine, error) {
+	if err := core.ValidateConfig(cfg.N, cfg.F); err != nil {
+		return nil, err
+	}
+	if cfg.Keychain == nil {
+		return nil, fmt.Errorf("sbs: keychain required")
+	}
+	return NewUnchecked(cfg), nil
+}
+
+// NewUnchecked builds a machine without the resilience-bound check.
+func NewUnchecked(cfg Config) *Machine {
+	quorum := core.AckQuorum(cfg.N, cfg.F)
+	return &Machine{
+		cfg:        cfg,
+		quorum:     quorum,
+		crypto:     NewCrypto(cfg.Keychain, cfg.Self, quorum),
+		state:      Init,
+		safety:     NewSafetySet(),
+		safeAcks:   make(map[ident.ProcessID]msg.SafeAck),
+		ackers:     ident.NewSet(),
+		byz:        make(map[ident.ProcessID]bool),
+		candidates: NewCandidates(),
+	}
+}
+
+// ID implements proto.Machine.
+func (m *Machine) ID() ident.ProcessID { return m.cfg.Self }
+
+// State returns the proposer state.
+func (m *Machine) State() State { return m.state }
+
+// Decision returns the decision, if decided.
+func (m *Machine) Decision() (lattice.Set, bool) { return m.decision, m.state == Decided }
+
+// Proposed returns the current proposal as a plain lattice element.
+func (m *Machine) Proposed() lattice.Set { return m.proposed.Plain() }
+
+// DetectedByz returns the processes flagged by the byz[] array.
+func (m *Machine) DetectedByz() []ident.ProcessID {
+	s := ident.NewSet()
+	for p, bad := range m.byz {
+		if bad {
+			s.Add(p)
+		}
+	}
+	return s.Members()
+}
+
+// Start runs the Init Phase broadcast (Alg 8 lines 8-11).
+func (m *Machine) Start() []proto.Output {
+	sv := m.crypto.SignValue(0, m.cfg.Proposal)
+	m.safety.Add(sv)
+	return []proto.Output{proto.Bcast(msg.InitVal{SV: sv})}
+}
+
+// Handle implements proto.Machine.
+func (m *Machine) Handle(from ident.ProcessID, in msg.Msg) []proto.Output {
+	switch v := in.(type) {
+	case msg.InitVal:
+		return m.onInit(v)
+	case msg.SafeReq:
+		return m.onSafeReq(from, v)
+	case msg.SafeAck:
+		return m.onSafeAck(from, v)
+	case msg.AckReqS:
+		return m.onAckReq(from, v)
+	case msg.AckS:
+		return m.onAck(from, v)
+	case msg.NackS:
+		return m.onNack(from, v)
+	case msg.Wakeup:
+		return nil
+	default:
+		m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: from, Kind: in.Kind(), Reason: "unexpected kind"})
+		return nil
+	}
+}
+
+// onInit implements Alg 8 lines 12-14 and the phase transition of
+// lines 16-18.
+func (m *Machine) onInit(iv msg.InitVal) []proto.Output {
+	if m.state != Init {
+		return nil
+	}
+	if iv.SV.Round != 0 || !m.crypto.VerifyValue(iv.SV) {
+		return nil
+	}
+	m.safety.Add(iv.SV)
+	if m.safety.LenRound(0) >= m.cfg.N-m.cfg.F {
+		m.state = Safetying
+		return []proto.Output{proto.Bcast(msg.SafeReq{Round: 0, Values: m.safety.ValuesRound(0)})}
+	}
+	return nil
+}
+
+// onSafeReq implements the acceptor's safetying reply (Alg 9 lines 3-6).
+func (m *Machine) onSafeReq(from ident.ProcessID, req msg.SafeReq) []proto.Output {
+	if req.Round != 0 {
+		return nil
+	}
+	for _, sv := range req.Values {
+		if sv.Round != 0 || !m.crypto.VerifyValue(sv) {
+			return nil // request contains forged values: ignore entirely
+		}
+	}
+	conflicts := m.candidates.ConflictsWith(req.Values)
+	ack := m.crypto.SignSafeAck(0, Keys(req.Values), conflicts)
+	m.candidates.Observe(req.Values)
+	return []proto.Output{proto.Send(from, ack)}
+}
+
+// onSafeAck implements Alg 8 lines 19-23 and the proposing transition
+// of lines 25-31.
+func (m *Machine) onSafeAck(from ident.ProcessID, sa msg.SafeAck) []proto.Output {
+	if m.state != Safetying || m.byz[from] {
+		return nil
+	}
+	if sa.Signer != from || sa.Round != 0 ||
+		!sameKeys(sa.RcvdKeys, Keys(m.safety.ValuesRound(0))) ||
+		!m.crypto.VerifySafeAck(sa) {
+		m.byz[from] = true
+		return nil
+	}
+	m.safeAcks[from] = sa
+	if len(m.safeAcks) < m.quorum {
+		return nil
+	}
+	// Collect the proof: all gathered safe_acks, attached to every value
+	// that no ack reported as conflicted (Alg 8 lines 26-27).
+	proof := make([]msg.SafeAck, 0, len(m.safeAcks))
+	for _, p := range ident.NewSet(mapKeys(m.safeAcks)...).Members() {
+		proof = append(proof, m.safeAcks[p])
+	}
+	for _, sv := range m.safety.ValuesRound(0) {
+		key := sv.ValueKey()
+		conflicted := false
+		for _, ack := range proof {
+			if conflictListed(ack, key) {
+				conflicted = true
+				break
+			}
+		}
+		if !conflicted {
+			m.proposed = m.proposed.Insert(msg.ProofValue{SV: sv, Proof: proof})
+		}
+	}
+	m.state = Proposing
+	m.ackers.Clear()
+	m.ts++
+	return []proto.Output{proto.Bcast(msg.AckReqS{Round: 0, Values: m.proposed.Items(), TS: m.ts})}
+}
+
+func mapKeys(m map[ident.ProcessID]msg.SafeAck) []ident.ProcessID {
+	out := make([]ident.ProcessID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// onAckReq implements the acceptor's proposing-phase reply (Alg 9
+// lines 7-14): requests whose values lack proofs of safety are ignored.
+func (m *Machine) onAckReq(from ident.ProcessID, req msg.AckReqS) []proto.Output {
+	if req.Round != 0 || !m.crypto.AllSafe(req.Values) {
+		return nil
+	}
+	rcvd := PVFromValues(req.Values...)
+	if m.accepted.SubsetOf(rcvd) {
+		m.accepted = rcvd
+		return []proto.Output{proto.Send(from, msg.AckS{Round: 0, Accepted: rcvd.Plain(), TS: req.TS})}
+	}
+	out := proto.Send(from, msg.NackS{Round: 0, Values: m.accepted.Items(), TS: req.TS})
+	m.accepted = m.accepted.Union(rcvd)
+	return []proto.Output{out}
+}
+
+// onAck implements Alg 8 lines 32-37.
+func (m *Machine) onAck(from ident.ProcessID, a msg.AckS) []proto.Output {
+	if m.state != Proposing || a.Round != 0 || a.TS != m.ts {
+		return nil
+	}
+	if m.byz[from] || !a.Accepted.Equal(m.proposed.Plain()) {
+		m.byz[from] = true
+		return nil
+	}
+	m.ackers.Add(from)
+	if m.ackers.Len() < m.quorum {
+		return nil
+	}
+	// Alg 8 lines 47-50.
+	m.state = Decided
+	m.decision = m.proposed.Plain()
+	m.Emit(proto.DecideEvent{Proc: m.cfg.Self, Round: 0, Value: m.decision})
+	return nil
+}
+
+// onNack implements Alg 8 lines 38-46.
+func (m *Machine) onNack(from ident.ProcessID, n msg.NackS) []proto.Output {
+	if m.state != Proposing || n.Round != 0 || n.TS != m.ts {
+		return nil
+	}
+	rcvd := PVFromValues(n.Values...)
+	merged := rcvd.Union(m.proposed)
+	if m.byz[from] || merged.Equal(m.proposed) || !m.crypto.AllSafe(n.Values) {
+		m.byz[from] = true
+		return nil
+	}
+	m.proposed = merged
+	m.ackers.Clear()
+	m.ts++
+	m.Emit(proto.RefineEvent{Proc: m.cfg.Self, Round: 0, TS: m.ts})
+	return []proto.Output{proto.Bcast(msg.AckReqS{Round: 0, Values: m.proposed.Items(), TS: m.ts})}
+}

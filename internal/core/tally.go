@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+)
+
+// AckKey identifies an ack tuple <Accepted_set, destination, ts, round>;
+// tallies count distinct senders per tuple (GWTS Alg 3 line 37, Alg 4
+// line 17, RSM plug-in Alg 7 line 4).
+type AckKey struct {
+	SetKey string
+	Dest   ident.ProcessID
+	TS     uint32
+	Round  int
+}
+
+func (k AckKey) String() string {
+	return fmt.Sprintf("r%d/ts%d/dest%v/%s", k.Round, k.TS, k.Dest, k.SetKey)
+}
+
+// AckTally counts distinct ack senders per tuple and remembers the
+// acknowledged set for each tuple.
+type AckTally struct {
+	senders map[AckKey]*ident.Set
+	values  map[AckKey]lattice.Set
+}
+
+// NewAckTally returns an empty tally.
+func NewAckTally() *AckTally {
+	return &AckTally{
+		senders: make(map[AckKey]*ident.Set),
+		values:  make(map[AckKey]lattice.Set),
+	}
+}
+
+// Add records that sender acknowledged the tuple; it returns the number
+// of distinct senders so far (duplicates from the same sender are
+// counted once).
+func (t *AckTally) Add(sender ident.ProcessID, accepted lattice.Set, dest ident.ProcessID, ts uint32, round int) int {
+	k := AckKey{SetKey: accepted.Key(), Dest: dest, TS: ts, Round: round}
+	set := t.senders[k]
+	if set == nil {
+		set = ident.NewSet()
+		t.senders[k] = set
+		t.values[k] = accepted
+	}
+	set.Add(sender)
+	return set.Len()
+}
+
+// Count returns the distinct-sender count of a tuple.
+func (t *AckTally) Count(accepted lattice.Set, dest ident.ProcessID, ts uint32, round int) int {
+	k := AckKey{SetKey: accepted.Key(), Dest: dest, TS: ts, Round: round}
+	if s := t.senders[k]; s != nil {
+		return s.Len()
+	}
+	return 0
+}
+
+// QuorumEntry is a tuple that reached a quorum.
+type QuorumEntry struct {
+	Key   AckKey
+	Value lattice.Set
+	Count int
+}
+
+// AtQuorum returns all tuples of the given round with >= quorum distinct
+// senders, in deterministic order (by key string).
+func (t *AckTally) AtQuorum(round, quorum int) []QuorumEntry {
+	var out []QuorumEntry
+	for k, s := range t.senders {
+		if k.Round == round && s.Len() >= quorum {
+			out = append(out, QuorumEntry{Key: k, Value: t.values[k], Count: s.Len()})
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// AnyQuorumValue reports whether the given value (matched by canonical
+// key, any dest/ts) reached quorum in any round; used by the RSM read
+// confirmation (Alg 7 line 4: "< ·, Accepted_set, ·, ·, timestamp, r >
+// appears ⌊(n+f)/2⌋+1 times in Ack_history").
+func (t *AckTally) AnyQuorumValue(value lattice.Set, quorum int) bool {
+	want := value.Key()
+	for k, s := range t.senders {
+		if k.SetKey == want && s.Len() >= quorum {
+			return true
+		}
+	}
+	return false
+}
+
+// RoundReached reports whether any tuple of the round reached quorum
+// (the acceptor's Safe_r advance rule, Alg 4 lines 17-19).
+func (t *AckTally) RoundReached(round, quorum int) bool {
+	for k, s := range t.senders {
+		if k.Round == round && s.Len() >= quorum {
+			return true
+		}
+	}
+	return false
+}
+
+func sortEntries(es []QuorumEntry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Key.String() < es[j-1].Key.String(); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package wts implements the Wait Till Safe algorithm for one-shot
+// Byzantine Lattice Agreement (paper §5, Algorithms 1 and 2). Each
+// Machine plays both roles of the paper — proposer and acceptor — as
+// the paper permits ("each process can play both roles at the same
+// time").
+//
+// The algorithm runs in two phases:
+//
+//  1. Values Disclosure Phase: the proposer reliably broadcasts its
+//     proposed value; delivered values populate the Safe-values Set
+//     (SvS). After n-f disclosures the proposer moves on.
+//  2. Deciding Phase: the proposer broadcasts ack requests; acceptors
+//     ack (when their Accepted_set is included in the request) or nack
+//     with their Accepted_set; on a nack the proposer refines its
+//     proposal (at most f times, Lemma 3) and retries; it decides on
+//     ⌊(n+f)/2⌋+1 acks.
+//
+// Messages whose lattice element is not yet SAFE (⊆ SvS) are buffered in
+// Waiting_msgs and re-examined whenever SvS grows (Lemma 2 guarantees
+// they eventually become safe when sent by correct processes).
+package wts
+
+import (
+	"fmt"
+
+	"bgla/internal/core"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+	"bgla/internal/rbc"
+)
+
+// DiscTag is the reliable-broadcast tag of the disclosure phase.
+const DiscTag = "wts/disc"
+
+// State is the proposer state of Alg 1.
+type State int
+
+// Proposer states.
+const (
+	Disclosing State = iota
+	Proposing
+	Decided
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Disclosing:
+		return "disclosing"
+	case Proposing:
+		return "proposing"
+	case Decided:
+		return "decided"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config configures one WTS process.
+type Config struct {
+	Self ident.ProcessID
+	N    int
+	F    int
+	// Proposal is the process's initial value pro_i.
+	Proposal lattice.Set
+	// MaxWaiting caps the Waiting_msgs buffer as a resource-exhaustion
+	// guard against Byzantine garbage (0 = default 4096 entries).
+	MaxWaiting int
+
+	// DisableSafeCheck is an ABLATION switch (experiment E12a): the
+	// SAFE() predicate always passes, so undisclosed values flow into
+	// accepted sets and decisions. Never use outside experiments.
+	DisableSafeCheck bool
+	// DisableRBC is an ABLATION switch (experiment E12b): the disclosure
+	// phase uses a plain broadcast instead of Byzantine reliable
+	// broadcast, so an equivocating proposer can split the Safe-values
+	// Sets of correct processes. Never use outside experiments.
+	DisableRBC bool
+}
+
+// pending is a buffered (possibly not-yet-safe) message.
+type pending struct {
+	from ident.ProcessID
+	m    msg.Msg
+}
+
+// Machine is one WTS process (proposer + acceptor).
+type Machine struct {
+	proto.Recorder
+	cfg    Config
+	quorum int
+
+	peer *rbc.Peer
+	svs  *core.SVS
+
+	// Proposer state (Alg 1).
+	state    State
+	proposed lattice.Set
+	ackers   *ident.Set
+	ts       uint32
+	decision lattice.Set
+
+	// Acceptor state (Alg 2).
+	accepted lattice.Set
+
+	waiting []pending
+}
+
+// New builds a WTS machine; the configuration must satisfy n >= 3f+1.
+func New(cfg Config) (*Machine, error) {
+	if err := core.ValidateConfig(cfg.N, cfg.F); err != nil {
+		return nil, err
+	}
+	return NewUnchecked(cfg), nil
+}
+
+// NewUnchecked builds a machine without validating the resilience
+// bound; experiment E2 uses it to demonstrate Theorem 1 violations.
+func NewUnchecked(cfg Config) *Machine {
+	if cfg.MaxWaiting == 0 {
+		cfg.MaxWaiting = 4096
+	}
+	return &Machine{
+		cfg:      cfg,
+		quorum:   core.AckQuorum(cfg.N, cfg.F),
+		peer:     rbc.NewPeer(cfg.Self, cfg.N, cfg.F),
+		svs:      core.NewSVS(),
+		state:    Disclosing,
+		proposed: cfg.Proposal,
+		ackers:   ident.NewSet(),
+	}
+}
+
+// ID implements proto.Machine.
+func (m *Machine) ID() ident.ProcessID { return m.cfg.Self }
+
+// State returns the proposer state (tests/diagnostics).
+func (m *Machine) State() State { return m.state }
+
+// Proposed returns the current Proposed_set.
+func (m *Machine) Proposed() lattice.Set { return m.proposed }
+
+// Accepted returns the acceptor's Accepted_set.
+func (m *Machine) Accepted() lattice.Set { return m.accepted }
+
+// Decision returns the decision value, if decided.
+func (m *Machine) Decision() (lattice.Set, bool) { return m.decision, m.state == Decided }
+
+// SvS exposes the safe-values tracker (read-only use).
+func (m *Machine) SvS() *core.SVS { return m.svs }
+
+// safe evaluates the SAFE() predicate, honoring the ablation switch.
+func (m *Machine) safe(element lattice.Set) bool {
+	return m.cfg.DisableSafeCheck || m.svs.Safe(element)
+}
+
+// Start begins the Values Disclosure Phase (Alg 1 lines 6-8).
+func (m *Machine) Start() []proto.Output {
+	if m.cfg.DisableRBC {
+		return []proto.Output{proto.Bcast(msg.Disclosure{Round: 0, Value: m.cfg.Proposal})}
+	}
+	return m.peer.Broadcast(DiscTag, msg.Disclosure{Round: 0, Value: m.cfg.Proposal})
+}
+
+// Handle implements proto.Machine.
+func (m *Machine) Handle(from ident.ProcessID, in msg.Msg) []proto.Output {
+	if d, ok := in.(msg.Disclosure); ok && m.cfg.DisableRBC {
+		// Ablated disclosure path: trust the (authenticated) sender.
+		return m.onDisclosure(rbc.Delivery{Src: from, Tag: DiscTag, Payload: d})
+	}
+	if outs, handled := m.peer.Handle(from, in); handled {
+		for _, d := range m.peer.TakeDeliveries() {
+			outs = append(outs, m.onDisclosure(d)...)
+		}
+		return outs
+	}
+	switch in.(type) {
+	case msg.AckReq, msg.Ack, msg.Nack:
+		if len(m.waiting) >= m.cfg.MaxWaiting {
+			m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: from, Kind: in.Kind(), Reason: "waiting buffer full"})
+			return nil
+		}
+		m.waiting = append(m.waiting, pending{from: from, m: in})
+		return m.drainWaiting()
+	case msg.Wakeup:
+		return nil
+	default:
+		m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: from, Kind: in.Kind(), Reason: "unexpected kind"})
+		return nil
+	}
+}
+
+// onDisclosure processes an RBC delivery of <disclosure_phase, value>
+// (Alg 1 lines 9-14) and fires the phase transition (lines 16-18).
+func (m *Machine) onDisclosure(d rbc.Delivery) []proto.Output {
+	if d.Tag != DiscTag {
+		m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: d.Src, Kind: msg.KindDisclosure, Reason: "wrong tag"})
+		return nil
+	}
+	disc, ok := d.Payload.(msg.Disclosure)
+	if !ok || disc.Round != 0 {
+		// "if value is an element of the lattice" — a mistyped payload
+		// is not, so it is filtered here.
+		m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: d.Src, Kind: d.Payload.Kind(), Reason: "not a lattice element"})
+		return nil
+	}
+	if !m.svs.Add(d.Src, disc.Value) {
+		return nil // duplicate discloser (RBC already prevents this)
+	}
+	var outs []proto.Output
+	if m.state == Disclosing {
+		m.proposed = m.proposed.Union(disc.Value)
+		if m.svs.Count() >= m.cfg.N-m.cfg.F {
+			m.state = Proposing
+			outs = append(outs, proto.Bcast(msg.AckReq{Proposed: m.proposed, TS: m.ts, Round: 0}))
+		}
+	}
+	// A larger SvS may render buffered messages safe.
+	outs = append(outs, m.drainWaiting()...)
+	return outs
+}
+
+// drainWaiting repeatedly processes buffered messages that have become
+// safe and whose guards hold, until a fixed point.
+func (m *Machine) drainWaiting() []proto.Output {
+	var outs []proto.Output
+	for {
+		progressed := false
+		kept := m.waiting[:0]
+		for i, p := range m.waiting {
+			if progressed {
+				kept = append(kept, m.waiting[i:]...)
+				break
+			}
+			done, o := m.tryProcess(p)
+			if done {
+				progressed = true
+				outs = append(outs, o...)
+				continue // consumed
+			}
+			if m.dropStale(p) {
+				continue
+			}
+			kept = append(kept, p)
+		}
+		m.waiting = kept
+		if !progressed {
+			return outs
+		}
+	}
+}
+
+// dropStale discards buffered messages that can never be processed
+// again: acks/nacks for timestamps below the current one and anything
+// after the decision. Stale AckReqs are never dropped — the acceptor
+// role outlives the proposer's decision.
+func (m *Machine) dropStale(p pending) bool {
+	switch v := p.m.(type) {
+	case msg.Ack:
+		return m.state == Decided || v.TS < m.ts
+	case msg.Nack:
+		return m.state == Decided || v.TS < m.ts
+	}
+	return false
+}
+
+// tryProcess attempts one buffered message; it reports whether the
+// message was consumed.
+func (m *Machine) tryProcess(p pending) (bool, []proto.Output) {
+	switch v := p.m.(type) {
+	case msg.AckReq:
+		// Acceptor role (Alg 2 lines 5-12): guard is SAFE(m) only.
+		if v.Round != 0 || !m.safe(v.Proposed) {
+			return false, nil
+		}
+		return true, m.acceptorOn(p.from, v)
+	case msg.Ack:
+		// Proposer role (Alg 1 lines 21-23).
+		if m.state != Proposing || v.TS != m.ts || v.Round != 0 || !m.safe(v.Accepted) {
+			return false, nil
+		}
+		return true, m.onAck(p.from)
+	case msg.Nack:
+		// Proposer role (Alg 1 lines 24-30).
+		if m.state != Proposing || v.TS != m.ts || v.Round != 0 || !m.safe(v.Accepted) {
+			return false, nil
+		}
+		return true, m.onNack(v.Accepted)
+	}
+	return false, nil
+}
+
+func (m *Machine) acceptorOn(from ident.ProcessID, req msg.AckReq) []proto.Output {
+	if m.accepted.SubsetOf(req.Proposed) {
+		m.accepted = req.Proposed
+		return []proto.Output{proto.Send(from, msg.Ack{Accepted: m.accepted, TS: req.TS, Round: 0})}
+	}
+	out := proto.Send(from, msg.Nack{Accepted: m.accepted, TS: req.TS, Round: 0})
+	m.accepted = m.accepted.Union(req.Proposed)
+	return []proto.Output{out}
+}
+
+func (m *Machine) onAck(from ident.ProcessID) []proto.Output {
+	m.ackers.Add(from)
+	if m.ackers.Len() < m.quorum {
+		return nil
+	}
+	// Alg 1 lines 31-34.
+	m.state = Decided
+	m.decision = m.proposed
+	m.Emit(proto.DecideEvent{Proc: m.cfg.Self, Round: 0, Value: m.decision})
+	return nil
+}
+
+func (m *Machine) onNack(rcvd lattice.Set) []proto.Output {
+	merged := rcvd.Union(m.proposed)
+	if merged.Equal(m.proposed) {
+		return nil // nothing new (Alg 1 line 26 guard fails)
+	}
+	m.proposed = merged
+	m.ackers.Clear()
+	m.ts++
+	m.Emit(proto.RefineEvent{Proc: m.cfg.Self, Round: 0, TS: m.ts})
+	return []proto.Output{proto.Bcast(msg.AckReq{Proposed: m.proposed, TS: m.ts, Round: 0})}
+}

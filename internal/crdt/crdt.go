@@ -1,0 +1,168 @@
+// Package crdt implements commutative replicated data types on top of
+// the RSM: command encodings plus pure view functions that fold a
+// decided lattice element (a set of commands) into the data type's
+// state. Because the RSM decides growing, mutually comparable command
+// sets, every view is a consistent snapshot and views taken from later
+// decisions are refinements of earlier ones — exactly the set-counter
+// scenario motivating the paper's introduction (Figure 1).
+//
+// Commands commute by construction: views depend only on the *set* of
+// commands, never on arrival order. Malformed command bodies (e.g.
+// injected by Byzantine clients) are ignored by the views, implementing
+// the "correct replicas filter out inadmissible commands" rule of §7.2.
+package crdt
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"bgla/internal/lattice"
+)
+
+// Command type tags.
+const (
+	tagAdd = "add"
+	tagRem = "rem"
+	tagInc = "inc"
+	tagDec = "dec"
+	tagPut = "put"
+)
+
+// AddCmd encodes a set-add command (G-Set / 2P-Set).
+func AddCmd(elem string) string { return tagAdd + "|" + elem }
+
+// RemCmd encodes a set-remove command (2P-Set: remove wins, once
+// removed an element never returns).
+func RemCmd(elem string) string { return tagRem + "|" + elem }
+
+// IncCmd encodes a counter increment.
+func IncCmd(amount uint64) string { return tagInc + "|" + strconv.FormatUint(amount, 10) }
+
+// DecCmd encodes a counter decrement (PN-Counter).
+func DecCmd(amount uint64) string { return tagDec + "|" + strconv.FormatUint(amount, 10) }
+
+// PutCmd encodes a last-writer-wins map write. Stamp orders writes;
+// ties break on the raw command body, which is unique per client.
+func PutCmd(key string, stamp uint64, value string) string {
+	return tagPut + "|" + strconv.FormatUint(stamp, 10) + "|" + escape(key) + "|" + value
+}
+
+func escape(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+
+// stripUnique removes the uniqueness suffix ("\x00<seq>") appended by
+// RSM clients to make identical commands distinct items. Views parse
+// the clean body; distinctness is preserved at the lattice layer where
+// the raw bodies differ.
+func stripUnique(body string) string {
+	if i := strings.IndexByte(body, 0); i >= 0 {
+		return body[:i]
+	}
+	return body
+}
+
+func unescapeKeySplit(s string) (key, rest string, ok bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && i+1 < len(s) && s[i+1] == '|':
+			b.WriteByte('|')
+			i++
+		case s[i] == '|':
+			return b.String(), s[i+1:], true
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", false
+}
+
+// SetView folds set commands into the 2P-Set membership: an element is
+// present iff some add command names it and no remove command does.
+// The result is sorted.
+func SetView(s lattice.Set) []string {
+	added := map[string]bool{}
+	removed := map[string]bool{}
+	for _, it := range s.Items() {
+		tag, rest, ok := strings.Cut(stripUnique(it.Body), "|")
+		if !ok {
+			continue
+		}
+		switch tag {
+		case tagAdd:
+			added[rest] = true
+		case tagRem:
+			removed[rest] = true
+		}
+	}
+	var out []string
+	for e := range added {
+		if !removed[e] {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CounterView folds inc/dec commands into a PN-Counter value. Each
+// command counts once regardless of how it is replicated (commands are
+// unique items in the lattice).
+func CounterView(s lattice.Set) int64 {
+	var total int64
+	for _, it := range s.Items() {
+		tag, rest, ok := strings.Cut(stripUnique(it.Body), "|")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseUint(rest, 10, 63)
+		if err != nil {
+			continue
+		}
+		switch tag {
+		case tagInc:
+			total += int64(v)
+		case tagDec:
+			total -= int64(v)
+		}
+	}
+	return total
+}
+
+// MapView folds put commands into a last-writer-wins map: for each key
+// the write with the highest (stamp, body) pair wins.
+func MapView(s lattice.Set) map[string]string {
+	type winner struct {
+		stamp uint64
+		body  string
+		value string
+	}
+	best := map[string]winner{}
+	for _, it := range s.Items() {
+		tag, rest, ok := strings.Cut(stripUnique(it.Body), "|")
+		if !ok || tag != tagPut {
+			continue
+		}
+		stampStr, rest2, ok := strings.Cut(rest, "|")
+		if !ok {
+			continue
+		}
+		stamp, err := strconv.ParseUint(stampStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		key, value, ok := unescapeKeySplit(rest2)
+		if !ok {
+			continue
+		}
+		cur, seen := best[key]
+		if !seen || stamp > cur.stamp || (stamp == cur.stamp && it.Body > cur.body) {
+			best[key] = winner{stamp: stamp, body: it.Body, value: value}
+		}
+	}
+	out := make(map[string]string, len(best))
+	for k, w := range best {
+		out[k] = w.value
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package ident
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessIDString(t *testing.T) {
+	if got := ProcessID(7).String(); got != "p7" {
+		t.Fatalf("String() = %q, want p7", got)
+	}
+	if None.Valid() {
+		t.Fatal("None must not be valid")
+	}
+	if !ProcessID(0).Valid() {
+		t.Fatal("p0 must be valid")
+	}
+}
+
+func TestRange(t *testing.T) {
+	ids := Range(4)
+	if len(ids) != 4 {
+		t.Fatalf("len = %d, want 4", len(ids))
+	}
+	for i, id := range ids {
+		if id != ProcessID(i) {
+			t.Fatalf("ids[%d] = %v", i, id)
+		}
+	}
+	if got := Range(0); len(got) != 0 {
+		t.Fatalf("Range(0) = %v, want empty", got)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	var s Set // zero value usable
+	if s.Len() != 0 || s.Has(1) {
+		t.Fatal("zero set must be empty")
+	}
+	if !s.Add(3) {
+		t.Fatal("first Add must report true")
+	}
+	if s.Add(3) {
+		t.Fatal("duplicate Add must report false")
+	}
+	s.Add(1)
+	s.Add(2)
+	got := s.Members()
+	want := []ProcessID{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members() = %v, want %v", got, want)
+		}
+	}
+	c := s.Clone()
+	c.Add(9)
+	if s.Has(9) {
+		t.Fatal("Clone must be independent")
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("Clear must empty the set")
+	}
+}
+
+func TestSetQuickLenMatchesDistinct(t *testing.T) {
+	f := func(raw []uint8) bool {
+		s := NewSet()
+		distinct := map[ProcessID]bool{}
+		for _, r := range raw {
+			p := ProcessID(r % 17)
+			s.Add(p)
+			distinct[p] = true
+		}
+		return s.Len() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

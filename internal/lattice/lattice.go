@@ -1,0 +1,265 @@
+package lattice
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lattice is a generic join semilattice over elements of type E: Join
+// must be commutative, associative and idempotent; Leq(a, b) must hold
+// iff Join(a, b) equals b; Bottom is the least element. The paper's
+// protocols run on the canonical Set lattice; this interface lets
+// applications express their own domain (counters, registers, maps) and
+// derive the final state by folding Join over a decided Set, which is
+// exactly the RSM "execute" step of §7.
+type Lattice[E any] interface {
+	Join(a, b E) E
+	Leq(a, b E) bool
+	Bottom() E
+	Equal(a, b E) bool
+}
+
+// MaxUint64 is the total-order lattice on uint64 with max as join.
+type MaxUint64 struct{}
+
+// Join returns max(a, b).
+func (MaxUint64) Join(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Leq reports a <= b.
+func (MaxUint64) Leq(a, b uint64) bool { return a <= b }
+
+// Bottom returns 0.
+func (MaxUint64) Bottom() uint64 { return 0 }
+
+// Equal reports a == b.
+func (MaxUint64) Equal(a, b uint64) bool { return a == b }
+
+// StringSet is the semilattice of finite string sets under union,
+// represented as sorted slices.
+type StringSet struct{}
+
+// Join returns the sorted union of a and b.
+func (StringSet) Join(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Strings(out)
+	dedup := out[:0]
+	for i, s := range out {
+		if i == 0 || s != out[i-1] {
+			dedup = append(dedup, s)
+		}
+	}
+	return dedup
+}
+
+// Leq reports a ⊆ b (both assumed sorted & deduplicated).
+func (l StringSet) Leq(a, b []string) bool {
+	i := 0
+	for _, want := range a {
+		for i < len(b) && b[i] < want {
+			i++
+		}
+		if i >= len(b) || b[i] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Bottom returns the empty set.
+func (StringSet) Bottom() []string { return nil }
+
+// Equal reports element-wise equality.
+func (StringSet) Equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GCounter is the grow-only counter lattice: a map from replica name to
+// a monotonically increasing contribution, joined pointwise by max. Its
+// Value (the counter reading) is the sum of contributions.
+type GCounter struct{}
+
+// Join returns the pointwise max of a and b.
+func (GCounter) Join(a, b map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if v > out[k] {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Leq reports pointwise a <= b.
+func (GCounter) Leq(a, b map[string]uint64) bool {
+	for k, v := range a {
+		if v > b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bottom returns the empty counter.
+func (GCounter) Bottom() map[string]uint64 { return map[string]uint64{} }
+
+// Equal reports map equality.
+func (GCounter) Equal(a, b map[string]uint64) bool {
+	if len(normalizeCounter(a)) != len(normalizeCounter(b)) {
+		return false
+	}
+	for k, v := range a {
+		if v != 0 && b[k] != v {
+			return false
+		}
+	}
+	for k, v := range b {
+		if v != 0 && a[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func normalizeCounter(m map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// CounterValue sums the contributions of a GCounter element.
+func CounterValue(m map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// LWW is a last-writer-wins register lattice: join keeps the value with
+// the larger (Stamp, Tiebreak) pair. It is a semilattice because the
+// comparison is a total order on well-formed registers.
+type LWW struct{}
+
+// LWWReg is an LWW register element.
+type LWWReg struct {
+	Stamp    uint64
+	Tiebreak string
+	Value    string
+}
+
+func lwwLess(a, b LWWReg) bool {
+	if a.Stamp != b.Stamp {
+		return a.Stamp < b.Stamp
+	}
+	if a.Tiebreak != b.Tiebreak {
+		return a.Tiebreak < b.Tiebreak
+	}
+	return a.Value < b.Value
+}
+
+// Join keeps the greater register.
+func (LWW) Join(a, b LWWReg) LWWReg {
+	if lwwLess(a, b) {
+		return b
+	}
+	return a
+}
+
+// Leq reports a <= b in the register order.
+func (LWW) Leq(a, b LWWReg) bool { return a == b || lwwLess(a, b) }
+
+// Bottom returns the zero register.
+func (LWW) Bottom() LWWReg { return LWWReg{} }
+
+// Equal reports a == b.
+func (LWW) Equal(a, b LWWReg) bool { return a == b }
+
+// FoldSet folds the lattice join over the decoded items of a Set: each
+// item body is decoded to an element of the user lattice, and the result
+// is ⊕ of all elements (plus Bottom). Undecodable items are skipped and
+// counted, mirroring the RSM rule that correct replicas filter commands
+// that are "not an element of the lattice" (§7.2, Lemma 12).
+func FoldSet[E any](l Lattice[E], s Set, decode func(string) (E, bool)) (out E, skipped int) {
+	out = l.Bottom()
+	for _, it := range s.Items() {
+		e, ok := decode(it.Body)
+		if !ok {
+			skipped++
+			continue
+		}
+		out = l.Join(out, e)
+	}
+	return out, skipped
+}
+
+// EncodeUint64 / DecodeUint64 are the codec for MaxUint64 payloads.
+func EncodeUint64(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// DecodeUint64 parses the EncodeUint64 representation.
+func DecodeUint64(s string) (uint64, bool) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	return v, err == nil
+}
+
+// EncodeCounter / DecodeCounter are the codec for GCounter payloads:
+// "replica=contribution" pairs joined by commas, sorted by replica.
+func EncodeCounter(m map[string]uint64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatUint(m[k], 10))
+	}
+	return b.String()
+}
+
+// DecodeCounter parses the EncodeCounter representation.
+func DecodeCounter(s string) (map[string]uint64, bool) {
+	out := map[string]uint64{}
+	if s == "" {
+		return out, true
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k == "" {
+			return nil, false
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, false
+		}
+		out[k] = n
+	}
+	return out, true
+}

@@ -1,0 +1,145 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// checkLaws verifies the semilattice laws for a generic lattice using
+// randomized elements produced by gen.
+func checkLaws[E any](t *testing.T, name string, l Lattice[E], gen func([]byte) E) {
+	t.Helper()
+	cfg := &quick.Config{MaxCount: 200}
+	commut := func(x, y []byte) bool {
+		a, b := gen(x), gen(y)
+		return l.Equal(l.Join(a, b), l.Join(b, a))
+	}
+	assoc := func(x, y, z []byte) bool {
+		a, b, c := gen(x), gen(y), gen(z)
+		return l.Equal(l.Join(l.Join(a, b), c), l.Join(a, l.Join(b, c)))
+	}
+	idemp := func(x []byte) bool {
+		a := gen(x)
+		return l.Equal(l.Join(a, a), a)
+	}
+	bottomID := func(x []byte) bool {
+		a := gen(x)
+		return l.Equal(l.Join(l.Bottom(), a), a) && l.Leq(l.Bottom(), a)
+	}
+	leqJoin := func(x, y []byte) bool {
+		a, b := gen(x), gen(y)
+		return l.Leq(a, b) == l.Equal(l.Join(a, b), b)
+	}
+	for law, f := range map[string]any{
+		"commutative": commut, "associative": assoc, "idempotent": idemp,
+		"bottom": bottomID, "leq-join": leqJoin,
+	} {
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatalf("%s/%s: %v", name, law, err)
+		}
+	}
+}
+
+func TestMaxUint64Laws(t *testing.T) {
+	checkLaws[uint64](t, "MaxUint64", MaxUint64{}, func(raw []byte) uint64 {
+		var v uint64
+		for _, b := range raw {
+			v = v*31 + uint64(b)
+		}
+		return v % 1000
+	})
+}
+
+func TestStringSetLaws(t *testing.T) {
+	checkLaws[[]string](t, "StringSet", StringSet{}, func(raw []byte) []string {
+		var ss []string
+		for _, b := range raw {
+			ss = append(ss, string('a'+rune(b%6)))
+		}
+		return StringSet{}.Join(nil, ss) // normalize: sorted, deduped
+	})
+}
+
+func TestGCounterLaws(t *testing.T) {
+	checkLaws[map[string]uint64](t, "GCounter", GCounter{}, func(raw []byte) map[string]uint64 {
+		m := map[string]uint64{}
+		for i, b := range raw {
+			m[string('a'+rune(i%4))] += uint64(b % 16)
+		}
+		return m
+	})
+}
+
+func TestLWWLaws(t *testing.T) {
+	checkLaws[LWWReg](t, "LWW", LWW{}, func(raw []byte) LWWReg {
+		var r LWWReg
+		for _, b := range raw {
+			r.Stamp = r.Stamp*7 + uint64(b%8)
+		}
+		if len(raw) > 0 {
+			r.Tiebreak = string('a' + rune(raw[0]%3))
+			r.Value = string('x' + rune(raw[len(raw)-1]%3))
+		}
+		return r
+	})
+}
+
+func TestCounterValueAndCodec(t *testing.T) {
+	m := map[string]uint64{"r0": 3, "r1": 4}
+	if CounterValue(m) != 7 {
+		t.Fatalf("CounterValue = %d", CounterValue(m))
+	}
+	enc := EncodeCounter(m)
+	if enc != "r0=3,r1=4" {
+		t.Fatalf("EncodeCounter = %q", enc)
+	}
+	dec, ok := DecodeCounter(enc)
+	if !ok || !(GCounter{}).Equal(dec, m) {
+		t.Fatalf("DecodeCounter(%q) = %v, %v", enc, dec, ok)
+	}
+	if _, ok := DecodeCounter("bogus"); ok {
+		t.Fatal("DecodeCounter must reject malformed input")
+	}
+	if _, ok := DecodeCounter("=3"); ok {
+		t.Fatal("DecodeCounter must reject empty replica name")
+	}
+	if got, ok := DecodeCounter(""); !ok || len(got) != 0 {
+		t.Fatal("empty counter must decode to empty map")
+	}
+}
+
+func TestUint64Codec(t *testing.T) {
+	if EncodeUint64(42) != "42" {
+		t.Fatal("EncodeUint64")
+	}
+	v, ok := DecodeUint64("42")
+	if !ok || v != 42 {
+		t.Fatal("DecodeUint64 roundtrip")
+	}
+	if _, ok := DecodeUint64("x"); ok {
+		t.Fatal("DecodeUint64 must reject garbage")
+	}
+}
+
+func TestFoldSet(t *testing.T) {
+	s := FromItems(
+		Item{Author: 0, Body: EncodeUint64(5)},
+		Item{Author: 1, Body: EncodeUint64(9)},
+		Item{Author: 2, Body: "garbage"},
+	)
+	got, skipped := FoldSet[uint64](MaxUint64{}, s, DecodeUint64)
+	if got != 9 || skipped != 1 {
+		t.Fatalf("FoldSet = %d (skipped %d), want 9 (skipped 1)", got, skipped)
+	}
+}
+
+func TestFoldSetCounter(t *testing.T) {
+	s := FromItems(
+		Item{Author: 0, Body: EncodeCounter(map[string]uint64{"a": 2})},
+		Item{Author: 1, Body: EncodeCounter(map[string]uint64{"a": 1, "b": 3})},
+	)
+	got, skipped := FoldSet[map[string]uint64](GCounter{}, s, DecodeCounter)
+	if skipped != 0 || CounterValue(got) != 5 {
+		t.Fatalf("FoldSet counter = %v (skipped %d)", got, skipped)
+	}
+}

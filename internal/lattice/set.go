@@ -1,0 +1,233 @@
+// Package lattice implements the join-semilattice substrate of the
+// paper's model (§3.1): values form a join semilattice L = (V, ⊕).
+// Protocols operate on the canonical semilattice of sets with union as
+// join; the paper notes every join semilattice is isomorphic to such a
+// set lattice, and the generic Lattice interface in this package lets
+// applications plug arbitrary joins on top of the set transport.
+package lattice
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"bgla/internal/ident"
+)
+
+// Item is a basic element of the canonical set lattice: an opaque
+// payload tagged by the process (or client) that authored it. Tagging
+// makes items unique across authors, which is how the paper
+// disambiguates commands ("each command is unique", §7.1) and how the
+// Non-Triviality accounting attributes values to Byzantine proposers.
+type Item struct {
+	Author ident.ProcessID
+	Body   string
+}
+
+// Less orders items by (Author, Body); Set stores items in this order.
+func (a Item) Less(b Item) bool {
+	if a.Author != b.Author {
+		return a.Author < b.Author
+	}
+	return a.Body < b.Body
+}
+
+// String renders "p2:body".
+func (a Item) String() string { return a.Author.String() + ":" + a.Body }
+
+// Set is an immutable element of the canonical set semilattice: a sorted
+// duplicate-free collection of Items. The zero value is the bottom
+// element ⊥ (the empty set). All operations return new Sets; callers
+// may freely share Set values across goroutines.
+type Set struct {
+	items []Item // sorted by Item.Less, no duplicates
+}
+
+// Empty returns ⊥.
+func Empty() Set { return Set{} }
+
+// Singleton returns {it}.
+func Singleton(it Item) Set { return Set{items: []Item{it}} }
+
+// FromItems builds a Set from arbitrary items (deduplicated, sorted).
+func FromItems(items ...Item) Set {
+	if len(items) == 0 {
+		return Set{}
+	}
+	cp := make([]Item, len(items))
+	copy(cp, items)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Less(cp[j]) })
+	out := cp[:1]
+	for _, it := range cp[1:] {
+		if it != out[len(out)-1] {
+			out = append(out, it)
+		}
+	}
+	return Set{items: out}
+}
+
+// FromStrings builds a Set of items authored by author, one per body.
+func FromStrings(author ident.ProcessID, bodies ...string) Set {
+	items := make([]Item, len(bodies))
+	for i, b := range bodies {
+		items[i] = Item{Author: author, Body: b}
+	}
+	return FromItems(items...)
+}
+
+// Len returns |s|.
+func (s Set) Len() int { return len(s.items) }
+
+// IsEmpty reports s == ⊥.
+func (s Set) IsEmpty() bool { return len(s.items) == 0 }
+
+// Items returns the items in canonical order. The returned slice must
+// not be mutated.
+func (s Set) Items() []Item { return s.items }
+
+// Contains reports it ∈ s.
+func (s Set) Contains(it Item) bool {
+	i := sort.Search(len(s.items), func(i int) bool { return !s.items[i].Less(it) })
+	return i < len(s.items) && s.items[i] == it
+}
+
+// Union returns s ⊕ t (set union), the lattice join.
+func (s Set) Union(t Set) Set {
+	if s.IsEmpty() {
+		return t
+	}
+	if t.IsEmpty() {
+		return s
+	}
+	// Fast path: t ⊆ s or s ⊆ t avoids allocation.
+	if t.SubsetOf(s) {
+		return s
+	}
+	if s.SubsetOf(t) {
+		return t
+	}
+	out := make([]Item, 0, len(s.items)+len(t.items))
+	i, j := 0, 0
+	for i < len(s.items) && j < len(t.items) {
+		a, b := s.items[i], t.items[j]
+		switch {
+		case a == b:
+			out = append(out, a)
+			i++
+			j++
+		case a.Less(b):
+			out = append(out, a)
+			i++
+		default:
+			out = append(out, b)
+			j++
+		}
+	}
+	out = append(out, s.items[i:]...)
+	out = append(out, t.items[j:]...)
+	return Set{items: out}
+}
+
+// SubsetOf reports s ⊆ t, i.e. s ≤ t in the lattice order.
+func (s Set) SubsetOf(t Set) bool {
+	if len(s.items) > len(t.items) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(s.items) {
+		if j >= len(t.items) {
+			return false
+		}
+		a, b := s.items[i], t.items[j]
+		switch {
+		case a == b:
+			i++
+			j++
+		case b.Less(a):
+			j++
+		default: // a < b: a missing from t
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports s == t.
+func (s Set) Equal(t Set) bool {
+	if len(s.items) != len(t.items) {
+		return false
+	}
+	for i := range s.items {
+		if s.items[i] != t.items[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Comparable reports s ≤ t ∨ t ≤ s (the Comparability predicate of the
+// LA specification).
+func (s Set) Comparable(t Set) bool {
+	return s.SubsetOf(t) || t.SubsetOf(s)
+}
+
+// Minus returns the items of s not in t (diagnostic helper; set
+// difference is not a lattice operation and is never used by protocols
+// to shrink proposals).
+func (s Set) Minus(t Set) []Item {
+	var out []Item
+	for _, it := range s.items {
+		if !t.Contains(it) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Key returns a canonical string key for use in maps (e.g. counting how
+// many acceptors acknowledged an identical Accepted_set in GWTS).
+// Distinct sets have distinct keys.
+func (s Set) Key() string {
+	var b strings.Builder
+	for _, it := range s.items {
+		b.WriteString(strconv.Itoa(int(it.Author)))
+		b.WriteByte('#')
+		b.WriteString(strconv.Itoa(len(it.Body)))
+		b.WriteByte(':')
+		b.WriteString(it.Body)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// String renders "{p0:a, p1:b}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, it := range s.items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Authors returns the distinct item authors in ascending order.
+func (s Set) Authors() []ident.ProcessID {
+	seen := ident.NewSet()
+	for _, it := range s.items {
+		seen.Add(it.Author)
+	}
+	return seen.Members()
+}
+
+// UnionAll folds Union over the given sets.
+func UnionAll(sets ...Set) Set {
+	out := Empty()
+	for _, s := range sets {
+		out = out.Union(s)
+	}
+	return out
+}

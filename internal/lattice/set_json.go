@@ -1,0 +1,39 @@
+package lattice
+
+import (
+	"encoding/json"
+
+	"bgla/internal/ident"
+)
+
+// wireItem is the JSON representation of an Item.
+type wireItem struct {
+	A int32  `json:"a"`
+	B string `json:"b"`
+}
+
+// MarshalJSON encodes the set as a canonical (sorted) array of items, so
+// equal sets always produce identical bytes.
+func (s Set) MarshalJSON() ([]byte, error) {
+	out := make([]wireItem, len(s.items))
+	for i, it := range s.items {
+		out[i] = wireItem{A: int32(it.Author), B: it.Body}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the MarshalJSON representation; items are
+// re-normalized (sorted, deduplicated) so hostile encodings cannot
+// produce malformed sets.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var raw []wireItem
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	items := make([]Item, len(raw))
+	for i, w := range raw {
+		items[i] = Item{Author: ident.ProcessID(w.A), Body: w.B}
+	}
+	*s = FromItems(items...)
+	return nil
+}

@@ -1,0 +1,225 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bgla/internal/ident"
+)
+
+func it(author int, body string) Item {
+	return Item{Author: ident.ProcessID(author), Body: body}
+}
+
+func TestEmptyIsBottom(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() || e.Len() != 0 {
+		t.Fatal("Empty() must be the empty set")
+	}
+	s := FromItems(it(0, "a"))
+	if !e.SubsetOf(s) {
+		t.Fatal("⊥ must be below everything")
+	}
+	if !e.Union(s).Equal(s) || !s.Union(e).Equal(s) {
+		t.Fatal("⊥ must be the identity for Union")
+	}
+}
+
+func TestFromItemsDedup(t *testing.T) {
+	s := FromItems(it(1, "b"), it(0, "a"), it(1, "b"), it(0, "a"))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	items := s.Items()
+	if items[0] != it(0, "a") || items[1] != it(1, "b") {
+		t.Fatalf("items not sorted/deduped: %v", items)
+	}
+}
+
+func TestFromStrings(t *testing.T) {
+	s := FromStrings(3, "x", "y", "x")
+	if s.Len() != 2 || !s.Contains(it(3, "x")) || !s.Contains(it(3, "y")) {
+		t.Fatalf("FromStrings wrong: %v", s)
+	}
+}
+
+func TestUnionBasic(t *testing.T) {
+	a := FromItems(it(0, "a"), it(1, "b"))
+	b := FromItems(it(1, "b"), it(2, "c"))
+	u := a.Union(b)
+	if u.Len() != 3 {
+		t.Fatalf("union len = %d, want 3", u.Len())
+	}
+	for _, x := range []Item{it(0, "a"), it(1, "b"), it(2, "c")} {
+		if !u.Contains(x) {
+			t.Fatalf("union missing %v", x)
+		}
+	}
+}
+
+func TestSubsetAndComparable(t *testing.T) {
+	a := FromItems(it(0, "a"))
+	ab := FromItems(it(0, "a"), it(1, "b"))
+	c := FromItems(it(2, "c"))
+	if !a.SubsetOf(ab) {
+		t.Fatal("{a} ⊆ {a,b}")
+	}
+	if ab.SubsetOf(a) {
+		t.Fatal("{a,b} ⊄ {a}")
+	}
+	if a.SubsetOf(c) || c.SubsetOf(a) {
+		t.Fatal("disjoint nonempty sets must be unordered")
+	}
+	if !a.Comparable(ab) || a.Comparable(c) {
+		t.Fatal("Comparable wrong")
+	}
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a := FromItems(it(0, "a"), it(1, "b"))
+	b := FromItems(it(1, "b"), it(0, "a"))
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Fatal("order-insensitive equality violated")
+	}
+	c := FromItems(it(0, "a"))
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Fatal("distinct sets must differ")
+	}
+}
+
+func TestKeyInjectiveOnTrickyBodies(t *testing.T) {
+	// Bodies containing the separator bytes must not collide thanks to
+	// length prefixes.
+	a := FromItems(it(0, "x;"), it(0, "y"))
+	b := FromItems(it(0, "x"), it(0, ";y"))
+	if a.Key() == b.Key() {
+		t.Fatalf("Key collision: %q", a.Key())
+	}
+	c := FromItems(it(0, "1:z"))
+	d := FromItems(it(0, "z"), it(1, "")) // crafted to probe prefix confusion
+	if c.Key() == d.Key() {
+		t.Fatalf("Key collision: %q", c.Key())
+	}
+}
+
+func TestMinus(t *testing.T) {
+	a := FromItems(it(0, "a"), it(1, "b"), it(2, "c"))
+	b := FromItems(it(1, "b"))
+	diff := a.Minus(b)
+	if len(diff) != 2 || diff[0] != it(0, "a") || diff[1] != it(2, "c") {
+		t.Fatalf("Minus = %v", diff)
+	}
+}
+
+func TestAuthors(t *testing.T) {
+	s := FromItems(it(2, "x"), it(0, "y"), it(2, "z"))
+	got := s.Authors()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Authors = %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := FromItems(it(0, "a"), it(1, "b"))
+	if s.String() != "{p0:a, p1:b}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if Empty().String() != "{}" {
+		t.Fatalf("empty String = %q", Empty().String())
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	u := UnionAll(FromItems(it(0, "a")), FromItems(it(1, "b")), Empty())
+	if u.Len() != 2 {
+		t.Fatalf("UnionAll len = %d", u.Len())
+	}
+}
+
+// randomSet builds a small random set from the quick fuzz input.
+func randomSet(raw []byte) Set {
+	items := make([]Item, 0, len(raw))
+	for _, b := range raw {
+		items = append(items, it(int(b%5), string('a'+rune(b%7))))
+	}
+	return FromItems(items...)
+}
+
+func TestQuickJoinLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	commut := func(x, y []byte) bool {
+		a, b := randomSet(x), randomSet(y)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	assoc := func(x, y, z []byte) bool {
+		a, b, c := randomSet(x), randomSet(y), randomSet(z)
+		return a.Union(b).Union(c).Equal(a.Union(b.Union(c)))
+	}
+	idemp := func(x []byte) bool {
+		a := randomSet(x)
+		return a.Union(a).Equal(a)
+	}
+	leqJoin := func(x, y []byte) bool {
+		// a ≤ b  iff  a ⊕ b = b (the lattice-order characterization).
+		a, b := randomSet(x), randomSet(y)
+		return a.SubsetOf(b) == a.Union(b).Equal(b)
+	}
+	absorb := func(x, y []byte) bool {
+		a, b := randomSet(x), randomSet(y)
+		u := a.Union(b)
+		return a.SubsetOf(u) && b.SubsetOf(u)
+	}
+	for name, f := range map[string]any{
+		"commutative": commut, "associative": assoc, "idempotent": idemp,
+		"leq-join": leqJoin, "absorption": absorb,
+	} {
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestQuickSubsetMatchesNaive(t *testing.T) {
+	f := func(x, y []byte) bool {
+		a, b := randomSet(x), randomSet(y)
+		naive := true
+		for _, i := range a.Items() {
+			if !b.Contains(i) {
+				naive = false
+				break
+			}
+		}
+		return a.SubsetOf(b) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionSharingFastPaths(t *testing.T) {
+	// When one side subsumes the other the receiver is returned as-is;
+	// verify correctness (not identity, which is an optimization detail).
+	big := FromItems(it(0, "a"), it(1, "b"), it(2, "c"))
+	small := FromItems(it(1, "b"))
+	if !big.Union(small).Equal(big) || !small.Union(big).Equal(big) {
+		t.Fatal("subsumption unions wrong")
+	}
+}
+
+func BenchmarkUnionDisjoint(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(n int, author int) Set {
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = it(author, string(rune('a'+rng.Intn(26)))+string(rune('a'+i%26))+string(rune('0'+i%10)))
+		}
+		return FromItems(items...)
+	}
+	a, c := mk(256, 0), mk(256, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Union(c)
+	}
+}

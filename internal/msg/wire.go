@@ -1,0 +1,172 @@
+package msg
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"bgla/internal/ident"
+)
+
+// Envelope is the wire framing: a kind discriminator plus the JSON body
+// of the concrete message.
+type Envelope struct {
+	K Kind            `json:"k"`
+	B json.RawMessage `json:"b"`
+}
+
+// rbcWire is the JSON form of the three RBC wrapper messages, whose
+// payload is itself an enveloped message.
+type rbcWire struct {
+	Src     ident.ProcessID `json:"src"`
+	Tag     string          `json:"tag"`
+	Payload Envelope        `json:"payload"`
+}
+
+// Encode serializes a message into its envelope bytes.
+func Encode(m Msg) ([]byte, error) {
+	env, err := ToEnvelope(m)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(env)
+}
+
+// ToEnvelope converts a message to its envelope.
+func ToEnvelope(m Msg) (Envelope, error) {
+	var body any = m
+	switch v := m.(type) {
+	case RBCSend:
+		inner, err := ToEnvelope(v.Payload)
+		if err != nil {
+			return Envelope{}, err
+		}
+		body = rbcWire{Src: v.Src, Tag: v.Tag, Payload: inner}
+	case RBCEcho:
+		inner, err := ToEnvelope(v.Payload)
+		if err != nil {
+			return Envelope{}, err
+		}
+		body = rbcWire{Src: v.Src, Tag: v.Tag, Payload: inner}
+	case RBCReady:
+		inner, err := ToEnvelope(v.Payload)
+		if err != nil {
+			return Envelope{}, err
+		}
+		body = rbcWire{Src: v.Src, Tag: v.Tag, Payload: inner}
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("msg: marshal %s: %w", m.Kind(), err)
+	}
+	return Envelope{K: m.Kind(), B: raw}, nil
+}
+
+// Decode parses envelope bytes back into a typed message.
+func Decode(data []byte) (Msg, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("msg: envelope: %w", err)
+	}
+	return FromEnvelope(env)
+}
+
+// FromEnvelope converts an envelope to a typed message.
+func FromEnvelope(env Envelope) (Msg, error) {
+	decodeRBC := func() (ident.ProcessID, string, Msg, error) {
+		var w rbcWire
+		if err := json.Unmarshal(env.B, &w); err != nil {
+			return 0, "", nil, err
+		}
+		inner, err := FromEnvelope(w.Payload)
+		if err != nil {
+			return 0, "", nil, err
+		}
+		return w.Src, w.Tag, inner, nil
+	}
+	switch env.K {
+	case KindRBCSend:
+		src, tag, p, err := decodeRBC()
+		if err != nil {
+			return nil, err
+		}
+		return RBCSend{Src: src, Tag: tag, Payload: p}, nil
+	case KindRBCEcho:
+		src, tag, p, err := decodeRBC()
+		if err != nil {
+			return nil, err
+		}
+		return RBCEcho{Src: src, Tag: tag, Payload: p}, nil
+	case KindRBCReady:
+		src, tag, p, err := decodeRBC()
+		if err != nil {
+			return nil, err
+		}
+		return RBCReady{Src: src, Tag: tag, Payload: p}, nil
+	case KindDisclosure:
+		return decodeBody[Disclosure](env)
+	case KindAckReq:
+		return decodeBody[AckReq](env)
+	case KindAck:
+		return decodeBody[Ack](env)
+	case KindNack:
+		return decodeBody[Nack](env)
+	case KindAckB:
+		return decodeBody[AckB](env)
+	case KindNewValue:
+		return decodeBody[NewValue](env)
+	case KindDecide:
+		return decodeBody[Decide](env)
+	case KindCnfReq:
+		return decodeBody[CnfReq](env)
+	case KindCnfRep:
+		return decodeBody[CnfRep](env)
+	case KindInitVal:
+		return decodeBody[InitVal](env)
+	case KindSafeReq:
+		return decodeBody[SafeReq](env)
+	case KindSafeAck:
+		return decodeBody[SafeAck](env)
+	case KindAckReqS:
+		return decodeBody[AckReqS](env)
+	case KindAckS:
+		return decodeBody[AckS](env)
+	case KindNackS:
+		return decodeBody[NackS](env)
+	case KindSignedAck:
+		return decodeBody[SignedAck](env)
+	case KindDecidedCert:
+		return decodeBody[DecidedCert](env)
+	case KindWakeup:
+		return decodeBody[Wakeup](env)
+	case KindJunk:
+		return decodeBody[Junk](env)
+	default:
+		return nil, fmt.Errorf("msg: unknown kind %q", env.K)
+	}
+}
+
+// SafeAck implements Msg so it can travel standalone in tests; within
+// the protocol it is embedded in ProofValue/NackS.
+func (SafeAck) Kind() Kind { return KindSafeAck }
+
+func decodeBody[T Msg](env Envelope) (Msg, error) {
+	var v T
+	if err := json.Unmarshal(env.B, &v); err != nil {
+		return nil, fmt.Errorf("msg: body of %s: %w", env.K, err)
+	}
+	return v, nil
+}
+
+// KeyOf returns a canonical identity string for a message: equal
+// messages produce equal keys. Used by the RBC layer to count echoes and
+// readies for "the same" payload. Messages contain no Go maps, so JSON
+// encoding is deterministic; lattice sets marshal in canonical order.
+func KeyOf(m Msg) string {
+	data, err := Encode(m)
+	if err != nil {
+		// Only reachable for unmarshalable hand-crafted test payloads;
+		// fall back to a non-colliding representation.
+		return fmt.Sprintf("!err:%T:%v", m, m)
+	}
+	return string(data)
+}

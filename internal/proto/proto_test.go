@@ -1,0 +1,87 @@
+package proto
+
+import (
+	"testing"
+
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+)
+
+func TestSendAndBcastHelpers(t *testing.T) {
+	m := msg.Junk{Blob: "x"}
+	s := Send(3, m)
+	if s.To != 3 || s.Msg.(msg.Junk).Blob != "x" {
+		t.Fatalf("Send = %+v", s)
+	}
+	b := Bcast(m)
+	if b.To != Broadcast {
+		t.Fatalf("Bcast To = %v", b.To)
+	}
+	if Broadcast >= 0 {
+		t.Fatal("Broadcast must not collide with real process IDs")
+	}
+	if Broadcast == ident.None {
+		t.Fatal("Broadcast must differ from ident.None")
+	}
+}
+
+func TestRecorderDrain(t *testing.T) {
+	var r Recorder
+	if got := r.TakeEvents(); got != nil {
+		t.Fatalf("fresh recorder events = %v", got)
+	}
+	r.Emit(DecideEvent{Proc: 1, Round: 0, Value: lattice.Empty()})
+	r.Emit(RefineEvent{Proc: 1, Round: 0, TS: 2})
+	got := r.TakeEvents()
+	if len(got) != 2 {
+		t.Fatalf("events = %d, want 2", len(got))
+	}
+	if _, ok := got[0].(DecideEvent); !ok {
+		t.Fatalf("order lost: %T", got[0])
+	}
+	if len(r.TakeEvents()) != 0 {
+		t.Fatal("TakeEvents must drain")
+	}
+}
+
+type eventful struct {
+	Recorder
+	id ident.ProcessID
+}
+
+func (e *eventful) ID() ident.ProcessID                      { return e.id }
+func (e *eventful) Start() []Output                          { return nil }
+func (e *eventful) Handle(ident.ProcessID, msg.Msg) []Output { return nil }
+
+type eventless struct{ id ident.ProcessID }
+
+func (e *eventless) ID() ident.ProcessID                      { return e.id }
+func (e *eventless) Start() []Output                          { return nil }
+func (e *eventless) Handle(ident.ProcessID, msg.Msg) []Output { return nil }
+
+func TestDrainEvents(t *testing.T) {
+	withEvents := &eventful{id: 0}
+	withEvents.Emit(JoinRoundEvent{Proc: 0, Round: 3})
+	if got := DrainEvents(withEvents); len(got) != 1 {
+		t.Fatalf("DrainEvents = %d events", len(got))
+	}
+	if got := DrainEvents(&eventless{id: 1}); got != nil {
+		t.Fatal("machines without events must drain nil")
+	}
+}
+
+func TestEventTypesAreEvents(t *testing.T) {
+	// Compile-time/behavioral check that all event types satisfy Event.
+	events := []Event{
+		DecideEvent{},
+		RefineEvent{},
+		JoinRoundEvent{},
+		ClientStartEvent{},
+		ClientDoneEvent{},
+		RejectEvent{},
+	}
+	if len(events) != 6 {
+		t.Fatal("unexpected event count")
+	}
+}

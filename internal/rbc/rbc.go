@@ -1,0 +1,224 @@
+// Package rbc implements Byzantine reliable broadcast (Bracha 1987,
+// the paper's references [12,13,14]) as an embeddable component: host
+// machines route rbc.* wire messages into a Peer and drain validated
+// deliveries. With n >= 3f+1 the primitive guarantees:
+//
+//   - Validity: if a correct process broadcasts (tag, payload), every
+//     correct process eventually delivers it;
+//   - Agreement: no two correct processes deliver different payloads for
+//     the same (src, tag) — this is what stops a Byzantine proposer from
+//     disclosing different values to different processes (§5);
+//   - Totality: if any correct process delivers, all correct processes
+//     eventually deliver;
+//   - Authenticity: a delivery attributed to src required src's own
+//     send on an authenticated link (spoofed RBCSend is rejected).
+//
+// Under the unit-delay network a broadcast costs three message delays
+// (send, echo, ready) and O(n²) messages, the figures used in the
+// complexity accounting of §5.1.3 and §6.4.
+package rbc
+
+import (
+	"bgla/internal/ident"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+)
+
+// Delivery is a validated reliable-broadcast delivery.
+type Delivery struct {
+	Src     ident.ProcessID
+	Tag     string
+	Payload msg.Msg
+}
+
+type instKey struct {
+	src ident.ProcessID
+	tag string
+}
+
+// instance tracks one (src, tag) broadcast.
+type instance struct {
+	sentEcho  bool
+	sentReady bool
+	delivered bool
+	echoes    map[string]*ident.Set // payload key -> echoing processes
+	readies   map[string]*ident.Set // payload key -> ready processes
+	payloads  map[string]msg.Msg    // payload key -> payload
+}
+
+func newInstance() *instance {
+	return &instance{
+		echoes:   make(map[string]*ident.Set),
+		readies:  make(map[string]*ident.Set),
+		payloads: make(map[string]msg.Msg),
+	}
+}
+
+// Peer is the reliable-broadcast endpoint of one process. It is not
+// goroutine-safe; the owning machine serializes access.
+type Peer struct {
+	self ident.ProcessID
+	n, f int
+
+	// maxTagsPerSrc caps concurrently tracked instances per source as a
+	// resource-exhaustion guard against Byzantine tag spam (0 = off).
+	maxTagsPerSrc int
+
+	insts      map[instKey]*instance
+	tagsPerSrc map[ident.ProcessID]int
+	deliveries []Delivery
+	rejected   int
+}
+
+// NewPeer builds the endpoint of process self in a system of n
+// processes tolerating f Byzantine ones.
+func NewPeer(self ident.ProcessID, n, f int) *Peer {
+	return &Peer{
+		self:       self,
+		n:          n,
+		f:          f,
+		insts:      make(map[instKey]*instance),
+		tagsPerSrc: make(map[ident.ProcessID]int),
+	}
+}
+
+// SetMaxTagsPerSrc enables the per-source instance cap.
+func (p *Peer) SetMaxTagsPerSrc(limit int) { p.maxTagsPerSrc = limit }
+
+// echoQuorum is ⌊(n+f)/2⌋+1: two echo quorums intersect in at least one
+// correct process, so at most one payload per instance can reach it.
+func (p *Peer) echoQuorum() int { return (p.n+p.f)/2 + 1 }
+
+// readyAmplify is f+1: at least one correct process sent ready.
+func (p *Peer) readyAmplify() int { return p.f + 1 }
+
+// deliverQuorum is 2f+1: at least f+1 correct readies, which guarantees
+// totality through amplification.
+func (p *Peer) deliverQuorum() int { return 2*p.f + 1 }
+
+// Broadcast reliably broadcasts payload under the given tag, returning
+// the outputs to emit. Each (self, tag) pair must be used once.
+func (p *Peer) Broadcast(tag string, payload msg.Msg) []proto.Output {
+	return []proto.Output{proto.Bcast(msg.RBCSend{Src: p.self, Tag: tag, Payload: payload})}
+}
+
+// Rejected returns the count of discarded malformed/spoofed messages.
+func (p *Peer) Rejected() int { return p.rejected }
+
+// TakeDeliveries drains buffered deliveries.
+func (p *Peer) TakeDeliveries() []Delivery {
+	out := p.deliveries
+	p.deliveries = nil
+	return out
+}
+
+// Handle routes an incoming message. The second result reports whether
+// the message belonged to the broadcast layer (hosts pass other kinds to
+// their own logic). New deliveries appear via TakeDeliveries.
+func (p *Peer) Handle(from ident.ProcessID, m msg.Msg) ([]proto.Output, bool) {
+	switch v := m.(type) {
+	case msg.RBCSend:
+		return p.onSend(from, v), true
+	case msg.RBCEcho:
+		return p.onEcho(from, v), true
+	case msg.RBCReady:
+		return p.onReady(from, v), true
+	default:
+		return nil, false
+	}
+}
+
+func (p *Peer) inst(src ident.ProcessID, tag string) *instance {
+	k := instKey{src: src, tag: tag}
+	in, ok := p.insts[k]
+	if !ok {
+		if p.maxTagsPerSrc > 0 && p.tagsPerSrc[src] >= p.maxTagsPerSrc {
+			return nil
+		}
+		in = newInstance()
+		p.insts[k] = in
+		p.tagsPerSrc[src]++
+	}
+	return in
+}
+
+func (p *Peer) onSend(from ident.ProcessID, m msg.RBCSend) []proto.Output {
+	if from != m.Src || m.Payload == nil {
+		// Authenticated links: only src itself may originate its send.
+		p.rejected++
+		return nil
+	}
+	in := p.inst(m.Src, m.Tag)
+	if in == nil || in.sentEcho {
+		return nil
+	}
+	in.sentEcho = true
+	return []proto.Output{proto.Bcast(msg.RBCEcho{Src: m.Src, Tag: m.Tag, Payload: m.Payload})}
+}
+
+func (p *Peer) onEcho(from ident.ProcessID, m msg.RBCEcho) []proto.Output {
+	if m.Payload == nil {
+		p.rejected++
+		return nil
+	}
+	in := p.inst(m.Src, m.Tag)
+	if in == nil {
+		return nil
+	}
+	key := msg.KeyOf(m.Payload)
+	set := in.echoes[key]
+	if set == nil {
+		set = ident.NewSet()
+		in.echoes[key] = set
+		in.payloads[key] = m.Payload
+	}
+	if !set.Add(from) {
+		return nil // duplicate echo from the same process
+	}
+	return p.progress(m.Src, m.Tag, in, key)
+}
+
+func (p *Peer) onReady(from ident.ProcessID, m msg.RBCReady) []proto.Output {
+	if m.Payload == nil {
+		p.rejected++
+		return nil
+	}
+	in := p.inst(m.Src, m.Tag)
+	if in == nil {
+		return nil
+	}
+	key := msg.KeyOf(m.Payload)
+	set := in.readies[key]
+	if set == nil {
+		set = ident.NewSet()
+		in.readies[key] = set
+		in.payloads[key] = m.Payload
+	}
+	if !set.Add(from) {
+		return nil
+	}
+	return p.progress(m.Src, m.Tag, in, key)
+}
+
+// progress applies the Bracha threshold rules for one payload key.
+func (p *Peer) progress(src ident.ProcessID, tag string, in *instance, key string) []proto.Output {
+	var outs []proto.Output
+	payload := in.payloads[key]
+	echoCount := 0
+	if s := in.echoes[key]; s != nil {
+		echoCount = s.Len()
+	}
+	readyCount := 0
+	if s := in.readies[key]; s != nil {
+		readyCount = s.Len()
+	}
+	if !in.sentReady && (echoCount >= p.echoQuorum() || readyCount >= p.readyAmplify()) {
+		in.sentReady = true
+		outs = append(outs, proto.Bcast(msg.RBCReady{Src: src, Tag: tag, Payload: payload}))
+	}
+	if !in.delivered && readyCount >= p.deliverQuorum() {
+		in.delivered = true
+		p.deliveries = append(p.deliveries, Delivery{Src: src, Tag: tag, Payload: payload})
+	}
+	return outs
+}

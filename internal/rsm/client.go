@@ -1,0 +1,259 @@
+package rsm
+
+import (
+	"fmt"
+
+	"bgla/internal/core"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+)
+
+// OpKind distinguishes client operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpUpdate OpKind = iota
+	OpRead
+)
+
+// Op is one scripted client operation.
+type Op struct {
+	Kind OpKind
+	// Body is the update command payload (updates only).
+	Body string
+}
+
+// OpResult records a completed operation.
+type OpResult struct {
+	ID    string
+	Kind  OpKind
+	Cmd   lattice.Item
+	Value lattice.Set // confirmed read value (reads only)
+}
+
+// clientPhase is the sequential client's progress on its current op.
+type clientPhase int
+
+const (
+	phaseIdle clientPhase = iota
+	phaseAwaitDecide
+	phaseAwaitConfirm
+)
+
+// Client is a sequential RSM client machine implementing Algorithms 5
+// and 6: it submits each operation to f+1 replicas, waits for f+1
+// distinct replicas to report decisions containing the command, and for
+// reads additionally runs the confirmation phase before returning. Ops
+// run back-to-back; Wakeup messages (scheduled by the driver) start ops
+// at given times instead when Paced is set.
+type Client struct {
+	proto.Recorder
+	cfg     ClientConfig
+	ops     []Op
+	next    int
+	seq     int
+	phase   clientPhase
+	current Op
+	curCmd  lattice.Item
+	curID   string
+
+	// Update/read wait state: distinct replicas whose decide included
+	// the current command, per Alg 5 line 4 / Alg 6 line 6.
+	deciders *ident.Set
+	// Candidate decision values (key -> value) for the read confirmation.
+	candidates map[string]lattice.Set
+	confirmers map[string]*ident.Set
+	confirmed  bool
+
+	results []OpResult
+}
+
+// ClientConfig configures a client.
+type ClientConfig struct {
+	Self ident.ProcessID
+	N    int
+	F    int
+	// Replicas are the replica identities (p0..p_{n-1} normally).
+	Replicas []ident.ProcessID
+	// SubmitTo overrides which replicas receive new_value triggers
+	// (default: the first f+1 of Replicas, per Alg 5 line 3). A
+	// Byzantine client may under-submit (Lemma 12).
+	SubmitTo []ident.ProcessID
+	// Ops is the operation script, run sequentially.
+	Ops []Op
+	// Paced makes the client wait for a Wakeup before starting each op
+	// (the driver schedules them); otherwise ops chain immediately.
+	Paced bool
+}
+
+// NewClient builds a client.
+func NewClient(cfg ClientConfig) *Client {
+	return &Client{cfg: cfg, deciders: ident.NewSet()}
+}
+
+// ID implements proto.Machine.
+func (c *Client) ID() ident.ProcessID { return c.cfg.Self }
+
+// Results returns the completed operations.
+func (c *Client) Results() []OpResult { return c.results }
+
+// Done reports whether the whole script completed.
+func (c *Client) Done() bool { return c.next >= len(c.cfg.Ops) && c.phase == phaseIdle }
+
+// Start implements proto.Machine.
+func (c *Client) Start() []proto.Output {
+	if c.cfg.Paced {
+		return nil
+	}
+	return c.startNext()
+}
+
+func (c *Client) startNext() []proto.Output {
+	if c.phase != phaseIdle || c.next >= len(c.cfg.Ops) {
+		return nil
+	}
+	op := c.cfg.Ops[c.next]
+	c.next++
+	c.seq++
+	c.current = op
+	c.deciders.Clear()
+	c.candidates = make(map[string]lattice.Set)
+	c.confirmers = make(map[string]*ident.Set)
+	c.confirmed = false
+	kind := "update"
+	if op.Kind == OpRead {
+		kind = "read"
+		c.curCmd = NopCmd(c.cfg.Self, c.seq)
+	} else {
+		c.curCmd = lattice.Item{Author: c.cfg.Self, Body: op.Body}
+	}
+	c.curID = fmt.Sprintf("%v/op%d", c.cfg.Self, c.seq)
+	c.phase = phaseAwaitDecide
+	c.Emit(proto.ClientStartEvent{Proc: c.cfg.Self, OpID: c.curID, Kind: kind, Cmd: c.curCmd})
+	// Trigger new_value at f+1 replicas (Alg 5 line 3 / Alg 6 line 3).
+	var outs []proto.Output
+	targets := c.cfg.SubmitTo
+	if targets == nil {
+		quota := core.ReadQuorum(c.cfg.F)
+		if quota > len(c.cfg.Replicas) {
+			quota = len(c.cfg.Replicas)
+		}
+		targets = c.cfg.Replicas[:quota]
+	}
+	for _, r := range targets {
+		outs = append(outs, proto.Send(r, msg.NewValue{Cmd: c.curCmd}))
+	}
+	return outs
+}
+
+// Handle implements proto.Machine.
+func (c *Client) Handle(from ident.ProcessID, in msg.Msg) []proto.Output {
+	switch v := in.(type) {
+	case msg.Wakeup:
+		return c.startNext()
+	case msg.Decide:
+		return c.onDecide(from, v)
+	case msg.CnfRep:
+		return c.onCnfRep(from, v)
+	default:
+		return nil
+	}
+}
+
+func (c *Client) isReplica(p ident.ProcessID) bool {
+	for _, r := range c.cfg.Replicas {
+		if r == p {
+			return true
+		}
+	}
+	return false
+}
+
+// onDecide collects decide notifications that include the current
+// command from distinct replicas.
+func (c *Client) onDecide(from ident.ProcessID, d msg.Decide) []proto.Output {
+	if c.phase != phaseAwaitDecide || !c.isReplica(from) || !d.Value.Contains(c.curCmd) {
+		return nil
+	}
+	c.deciders.Add(from)
+	key := d.Value.Key()
+	if _, ok := c.candidates[key]; !ok {
+		c.candidates[key] = d.Value
+	}
+	if c.deciders.Len() < core.ReadQuorum(c.cfg.F) {
+		return nil
+	}
+	if c.current.Kind == OpUpdate {
+		// Update completes (Alg 5 line 4).
+		return c.finish(lattice.Empty())
+	}
+	// Read: confirm each candidate decision value with all replicas
+	// (Alg 6 lines 7-8).
+	c.phase = phaseAwaitConfirm
+	var outs []proto.Output
+	for _, v := range c.sortedCandidates() {
+		for _, r := range c.cfg.Replicas {
+			outs = append(outs, proto.Send(r, msg.CnfReq{Value: v}))
+		}
+	}
+	return outs
+}
+
+func (c *Client) sortedCandidates() []lattice.Set {
+	keys := make([]string, 0, len(c.candidates))
+	for k := range c.candidates {
+		keys = append(keys, k)
+	}
+	// Deterministic order: smaller values first so the returned read is
+	// the earliest confirmed state.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := make([]lattice.Set, len(keys))
+	for i, k := range keys {
+		out[i] = c.candidates[k]
+	}
+	return out
+}
+
+// onCnfRep counts confirmations; f+1 for the same value completes the
+// read (Alg 6 lines 9-12).
+func (c *Client) onCnfRep(from ident.ProcessID, rep msg.CnfRep) []proto.Output {
+	if c.phase != phaseAwaitConfirm || c.confirmed || !c.isReplica(from) {
+		return nil
+	}
+	key := rep.Value.Key()
+	if _, ok := c.candidates[key]; !ok {
+		return nil // not a value we asked about
+	}
+	set := c.confirmers[key]
+	if set == nil {
+		set = ident.NewSet()
+		c.confirmers[key] = set
+	}
+	set.Add(from)
+	if set.Len() < core.ReadQuorum(c.cfg.F) {
+		return nil
+	}
+	c.confirmed = true
+	return c.finish(rep.Value)
+}
+
+func (c *Client) finish(value lattice.Set) []proto.Output {
+	kind := "update"
+	if c.current.Kind == OpRead {
+		kind = "read"
+	}
+	c.results = append(c.results, OpResult{ID: c.curID, Kind: c.current.Kind, Cmd: c.curCmd, Value: value})
+	c.Emit(proto.ClientDoneEvent{Proc: c.cfg.Self, OpID: c.curID, Kind: kind, Value: value})
+	c.phase = phaseIdle
+	if c.cfg.Paced {
+		return nil
+	}
+	return c.startNext()
+}

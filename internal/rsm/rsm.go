@@ -1,0 +1,83 @@
+// Package rsm implements the Byzantine-tolerant replicated state
+// machine of §7: replicas run Generalized Lattice Agreement (GWTS) over
+// the power set of update commands, clients drive the update and read
+// operations of Algorithms 5 and 6, and the replica side answers read
+// confirmations through the Algorithm 7 plug-in (built into the GWTS
+// machine). Update commands commute (set union), which is what lets the
+// construction be both linearizable and wait-free in an asynchronous
+// Byzantine system.
+package rsm
+
+import (
+	"strings"
+
+	"bgla/internal/core/gwts"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+)
+
+// nopPrefix marks the no-op commands injected by reads (Alg 6 line 3).
+const nopPrefix = "\x00nop|"
+
+// NopCmd builds the unique nop command of a client read.
+func NopCmd(client ident.ProcessID, seq int) lattice.Item {
+	return lattice.Item{Author: client, Body: nopPrefix + client.String() + "|" + itoa(seq)}
+}
+
+// IsNop reports whether an item is a read marker.
+func IsNop(it lattice.Item) bool { return strings.HasPrefix(it.Body, nopPrefix) }
+
+// StripNops removes read markers from a state — the "executed" view of
+// a decision value (nops modify the replica state like commands but are
+// equivalent to a no-op when executed, §7.2).
+func StripNops(s lattice.Set) lattice.Set {
+	items := make([]lattice.Item, 0, s.Len())
+	for _, it := range s.Items() {
+		if !IsNop(it) {
+			items = append(items, it)
+		}
+	}
+	return lattice.FromItems(items...)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// ReplicaConfig configures one RSM replica.
+type ReplicaConfig struct {
+	Self ident.ProcessID
+	N    int
+	F    int
+	// Clients are the client processes to notify on every decision.
+	Clients []ident.ProcessID
+}
+
+// NewReplica builds a replica: a GWTS machine whose decisions are
+// pushed to the clients and whose confirmation plug-in serves reads.
+func NewReplica(cfg ReplicaConfig) (*gwts.Machine, error) {
+	return gwts.New(gwts.Config{
+		Self:        cfg.Self,
+		N:           cfg.N,
+		F:           cfg.F,
+		Subscribers: cfg.Clients,
+	})
+}

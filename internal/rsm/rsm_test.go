@@ -1,0 +1,300 @@
+package rsm
+
+import (
+	"strings"
+	"testing"
+
+	"bgla/internal/check"
+	"bgla/internal/core/gwts"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+	"bgla/internal/sim"
+)
+
+// world bundles an assembled RSM simulation.
+type world struct {
+	replicas []*gwts.Machine
+	clients  []*Client
+	machines []proto.Machine
+}
+
+// buildWorld creates n replicas (skipping byz IDs) and the given clients.
+func buildWorld(t *testing.T, n, f int, clientCfgs []ClientConfig, byz []proto.Machine) *world {
+	t.Helper()
+	byzIDs := ident.NewSet()
+	for _, b := range byz {
+		byzIDs.Add(b.ID())
+	}
+	var clientIDs []ident.ProcessID
+	for _, cc := range clientCfgs {
+		clientIDs = append(clientIDs, cc.Self)
+	}
+	w := &world{}
+	for i := 0; i < n; i++ {
+		id := ident.ProcessID(i)
+		if byzIDs.Has(id) {
+			continue
+		}
+		r, err := NewReplica(ReplicaConfig{Self: id, N: n, F: f, Clients: clientIDs})
+		if err != nil {
+			t.Fatalf("NewReplica: %v", err)
+		}
+		w.replicas = append(w.replicas, r)
+		w.machines = append(w.machines, r)
+	}
+	for _, cc := range clientCfgs {
+		c := NewClient(cc)
+		w.clients = append(w.clients, c)
+		w.machines = append(w.machines, c)
+	}
+	w.machines = append(w.machines, byz...)
+	return w
+}
+
+// history extracts the completed-op history from a run's timeline.
+func history(res *sim.Result, w *world) *check.RSMHistory {
+	type open struct {
+		start uint64
+		kind  string
+		cmd   lattice.Item
+	}
+	opens := map[string]open{}
+	h := &check.RSMHistory{}
+	for _, te := range res.Timeline {
+		switch e := te.Event.(type) {
+		case proto.ClientStartEvent:
+			opens[e.OpID] = open{start: te.Time, kind: e.Kind, cmd: e.Cmd}
+		case proto.ClientDoneEvent:
+			o := opens[e.OpID]
+			h.Ops = append(h.Ops, check.OpRecord{
+				ID: e.OpID, Kind: o.kind, Cmd: o.cmd,
+				Start: o.start, End: te.Time, Value: e.Value,
+			})
+		}
+	}
+	for _, r := range w.replicas {
+		h.DecidedByCorrect = append(h.DecidedByCorrect, r.Decisions()...)
+	}
+	return h
+}
+
+func replicaIDs(n int) []ident.ProcessID { return ident.Range(n) }
+
+func assertClean(t *testing.T, h *check.RSMHistory, expectedOps int) {
+	t.Helper()
+	if v := h.All(expectedOps); len(v) != 0 {
+		t.Fatalf("RSM violations: %s", strings.Join(v, "; "))
+	}
+}
+
+func TestSingleClientUpdateReadSequence(t *testing.T) {
+	n, f := 4, 1
+	ops := []Op{
+		{Kind: OpUpdate, Body: "add(1)"},
+		{Kind: OpRead},
+		{Kind: OpUpdate, Body: "add(2)"},
+		{Kind: OpRead},
+	}
+	w := buildWorld(t, n, f, []ClientConfig{{Self: 100, N: n, F: f, Replicas: replicaIDs(n), Ops: ops}}, nil)
+	res := sim.New(sim.Config{Machines: w.machines, MaxTime: 1_000_000}).Run()
+	if res.Undelivered != 0 {
+		t.Fatalf("did not quiesce: %d queued", res.Undelivered)
+	}
+	c := w.clients[0]
+	if !c.Done() {
+		t.Fatalf("client incomplete: %d/%d ops", len(c.Results()), len(ops))
+	}
+	results := c.Results()
+	// First read sees add(1); second read sees both.
+	r1 := StripNops(results[1].Value)
+	r2 := StripNops(results[3].Value)
+	if !r1.Contains(lattice.Item{Author: 100, Body: "add(1)"}) {
+		t.Fatalf("read1 = %v misses add(1)", r1)
+	}
+	if !r2.Contains(lattice.Item{Author: 100, Body: "add(1)"}) || !r2.Contains(lattice.Item{Author: 100, Body: "add(2)"}) {
+		t.Fatalf("read2 = %v misses updates", r2)
+	}
+	if !r1.SubsetOf(r2) {
+		t.Fatal("reads not monotonic")
+	}
+	assertClean(t, history(res, w), len(ops))
+}
+
+func TestConcurrentClients(t *testing.T) {
+	n, f := 4, 1
+	mk := func(id int, body string) ClientConfig {
+		return ClientConfig{
+			Self: ident.ProcessID(id), N: n, F: f, Replicas: replicaIDs(n),
+			Ops: []Op{
+				{Kind: OpUpdate, Body: body + "-1"},
+				{Kind: OpRead},
+				{Kind: OpUpdate, Body: body + "-2"},
+				{Kind: OpRead},
+			},
+		}
+	}
+	w := buildWorld(t, n, f, []ClientConfig{mk(100, "a"), mk(101, "b"), mk(102, "c")}, nil)
+	res := sim.New(sim.Config{Machines: w.machines, Delay: sim.Uniform{Lo: 1, Hi: 4}, Seed: 3, MaxTime: 5_000_000}).Run()
+	for _, c := range w.clients {
+		if !c.Done() {
+			t.Fatalf("client %v incomplete (%d results)", c.ID(), len(c.Results()))
+		}
+	}
+	assertClean(t, history(res, w), 12)
+}
+
+func TestPacedClientsInterleaved(t *testing.T) {
+	n, f := 4, 1
+	cfgs := []ClientConfig{
+		{Self: 100, N: n, F: f, Replicas: replicaIDs(n), Paced: true, Ops: []Op{
+			{Kind: OpUpdate, Body: "x"}, {Kind: OpRead},
+		}},
+		{Self: 101, N: n, F: f, Replicas: replicaIDs(n), Paced: true, Ops: []Op{
+			{Kind: OpUpdate, Body: "y"}, {Kind: OpRead},
+		}},
+	}
+	w := buildWorld(t, n, f, cfgs, nil)
+	res := sim.New(sim.Config{
+		Machines: w.machines,
+		Wakeups: []sim.Wakeup{
+			{At: 1, To: 100, Tag: "op"}, {At: 5, To: 101, Tag: "op"},
+			{At: 60, To: 101, Tag: "op"}, {At: 80, To: 100, Tag: "op"},
+		},
+		MaxTime: 1_000_000,
+	}).Run()
+	for _, c := range w.clients {
+		if !c.Done() {
+			t.Fatalf("client %v incomplete", c.ID())
+		}
+	}
+	assertClean(t, history(res, w), 4)
+}
+
+type muteReplica struct {
+	proto.Recorder
+	id ident.ProcessID
+}
+
+func (m *muteReplica) ID() ident.ProcessID                            { return m.id }
+func (m *muteReplica) Start() []proto.Output                          { return nil }
+func (m *muteReplica) Handle(ident.ProcessID, msg.Msg) []proto.Output { return nil }
+
+func TestLivenessWithMuteByzReplica(t *testing.T) {
+	n, f := 4, 1
+	ops := []Op{{Kind: OpUpdate, Body: "v"}, {Kind: OpRead}}
+	cfg := ClientConfig{Self: 100, N: n, F: f, Replicas: replicaIDs(n), Ops: ops}
+	w := buildWorld(t, n, f, []ClientConfig{cfg}, []proto.Machine{&muteReplica{id: 3}})
+	res := sim.New(sim.Config{Machines: w.machines, MaxTime: 1_000_000}).Run()
+	if !w.clients[0].Done() {
+		t.Fatal("mute replica blocked the client")
+	}
+	assertClean(t, history(res, w), 2)
+}
+
+// fakeDecider learns commands from ack requests and spams clients with
+// fabricated decide notifications and confirmations for a poisoned set.
+type fakeDecider struct {
+	proto.Recorder
+	id      ident.ProcessID
+	clients []ident.ProcessID
+	seen    lattice.Set
+}
+
+func (fd *fakeDecider) ID() ident.ProcessID   { return fd.id }
+func (fd *fakeDecider) Start() []proto.Output { return nil }
+func (fd *fakeDecider) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	var outs []proto.Output
+	switch v := m.(type) {
+	case msg.AckReq:
+		fd.seen = fd.seen.Union(v.Proposed)
+		poisoned := fd.seen.Union(lattice.FromStrings(fd.id, "poison"))
+		for _, c := range fd.clients {
+			outs = append(outs, proto.Send(c, msg.Decide{Value: poisoned, Round: 0}))
+		}
+	case msg.CnfReq:
+		// Confirm anything, including the poisoned value.
+		outs = append(outs, proto.Send(from, msg.CnfRep{Value: v.Value}))
+	}
+	return outs
+}
+
+func TestFakeDecideNotificationsFiltered(t *testing.T) {
+	n, f := 4, 1
+	ops := []Op{{Kind: OpUpdate, Body: "real"}, {Kind: OpRead}}
+	cfg := ClientConfig{Self: 100, N: n, F: f, Replicas: replicaIDs(n), Ops: ops}
+	fd := &fakeDecider{id: 3, clients: []ident.ProcessID{100}}
+	w := buildWorld(t, n, f, []ClientConfig{cfg}, []proto.Machine{fd})
+	res := sim.New(sim.Config{Machines: w.machines, MaxTime: 1_000_000}).Run()
+	if !w.clients[0].Done() {
+		t.Fatal("client blocked")
+	}
+	read := w.clients[0].Results()[1].Value
+	if read.Contains(lattice.Item{Author: 3, Body: "poison"}) {
+		t.Fatalf("read returned the poisoned value: %v", read)
+	}
+	assertClean(t, history(res, w), 2)
+}
+
+func TestByzClientUnderSubmitsStillWorks(t *testing.T) {
+	// Lemma 12: a client sending its command to fewer than f+1 replicas
+	// still gets it decided once a single correct replica proposes it.
+	n, f := 4, 1
+	lazy := ClientConfig{Self: 100, N: n, F: f, Replicas: replicaIDs(n), SubmitTo: replicaIDs(n)[:1], Ops: []Op{{Kind: OpUpdate, Body: "lazy"}}}
+	honest := ClientConfig{Self: 101, N: n, F: f, Replicas: replicaIDs(n), Ops: []Op{{Kind: OpUpdate, Body: "ok"}, {Kind: OpRead}}}
+	w := buildWorld(t, n, f, []ClientConfig{lazy, honest}, nil)
+	res := sim.New(sim.Config{Machines: w.machines, MaxTime: 1_000_000}).Run()
+	// The lazy client still completes: it hears decides from all
+	// replicas even though it submitted to one.
+	if !w.clients[0].Done() {
+		t.Fatal("under-submitting client blocked")
+	}
+	if !w.clients[1].Done() {
+		t.Fatal("honest client blocked")
+	}
+	assertClean(t, history(res, w), 3)
+}
+
+func TestNopHelpers(t *testing.T) {
+	nop := NopCmd(100, 7)
+	if !IsNop(nop) {
+		t.Fatal("NopCmd not recognized")
+	}
+	real := lattice.Item{Author: 100, Body: "add(1)"}
+	if IsNop(real) {
+		t.Fatal("real command flagged as nop")
+	}
+	s := lattice.FromItems(nop, real)
+	stripped := StripNops(s)
+	if stripped.Len() != 1 || !stripped.Contains(real) {
+		t.Fatalf("StripNops = %v", stripped)
+	}
+	if StripNops(lattice.Empty()).Len() != 0 {
+		t.Fatal("StripNops on empty")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", -3: "-3", 1000: "1000"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Fatalf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestReadValidityCheckerCatchesFabrication(t *testing.T) {
+	// Sanity-check the checker itself: a read value nobody decided is
+	// flagged.
+	h := &check.RSMHistory{
+		Ops: []check.OpRecord{{
+			ID: "r", Kind: "read", Start: 0, End: 1,
+			Value: lattice.FromStrings(9, "fabricated"),
+		}},
+		DecidedByCorrect: []lattice.Set{lattice.FromStrings(0, "real")},
+	}
+	if v := h.ReadValidity(); len(v) != 1 {
+		t.Fatalf("ReadValidity = %v", v)
+	}
+}

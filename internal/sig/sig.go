@@ -1,0 +1,148 @@
+// Package sig provides the public-key infrastructure assumed by §8 of
+// the paper: every process can sign messages and every process can
+// verify every other process's signatures, while Byzantine processes
+// cannot forge signatures of correct processes.
+//
+// Two schemes are provided behind one Keychain interface:
+//
+//   - Ed25519 (stdlib crypto/ed25519) — real signatures, used by the
+//     TCP transport and the signature examples;
+//   - Sim — a fast deterministic HMAC-style tag, used by large
+//     parameter sweeps where millions of signatures would dominate the
+//     benchmark; the keychain acts as the trusted verification oracle.
+//     Protocol-visible behaviour (only the owner produces valid tags)
+//     is identical, so message and delay counts are unaffected
+//     (DESIGN.md §3).
+//
+// Key generation is deterministic from a seed so simulation runs are
+// reproducible.
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"bgla/internal/ident"
+)
+
+// Keychain verifies signatures of all processes and hands out
+// per-process signers.
+type Keychain interface {
+	// SignerFor returns the signing handle of process p. Correct code
+	// only ever requests its own signer; handing a machine another
+	// process's signer models key compromise (used in tests).
+	SignerFor(p ident.ProcessID) Signer
+	// Verify checks that sig is p's signature over data.
+	Verify(p ident.ProcessID, data, sig []byte) bool
+}
+
+// Signer signs on behalf of one process.
+type Signer interface {
+	ID() ident.ProcessID
+	Sign(data []byte) []byte
+}
+
+// --- Ed25519 ------------------------------------------------------------
+
+type edKeychain struct {
+	pub  map[ident.ProcessID]ed25519.PublicKey
+	priv map[ident.ProcessID]ed25519.PrivateKey
+}
+
+// NewEd25519 builds a deterministic Ed25519 keychain for processes
+// p0..p_{n-1} derived from seed.
+func NewEd25519(n int, seed int64) Keychain {
+	kc := &edKeychain{
+		pub:  make(map[ident.ProcessID]ed25519.PublicKey, n),
+		priv: make(map[ident.ProcessID]ed25519.PrivateKey, n),
+	}
+	for i := 0; i < n; i++ {
+		var buf [40]byte
+		binary.BigEndian.PutUint64(buf[:8], uint64(seed))
+		binary.BigEndian.PutUint32(buf[8:12], uint32(i))
+		copy(buf[12:], "bgla/ed25519-key-derivation!")
+		keySeed := sha256.Sum256(buf[:])
+		priv := ed25519.NewKeyFromSeed(keySeed[:])
+		kc.priv[ident.ProcessID(i)] = priv
+		kc.pub[ident.ProcessID(i)] = priv.Public().(ed25519.PublicKey)
+	}
+	return kc
+}
+
+func (kc *edKeychain) SignerFor(p ident.ProcessID) Signer {
+	priv, ok := kc.priv[p]
+	if !ok {
+		panic(fmt.Sprintf("sig: no key for %v", p))
+	}
+	return edSigner{id: p, priv: priv}
+}
+
+func (kc *edKeychain) Verify(p ident.ProcessID, data, sig []byte) bool {
+	pub, ok := kc.pub[p]
+	if !ok || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(pub, data, sig)
+}
+
+type edSigner struct {
+	id   ident.ProcessID
+	priv ed25519.PrivateKey
+}
+
+func (s edSigner) ID() ident.ProcessID     { return s.id }
+func (s edSigner) Sign(data []byte) []byte { return ed25519.Sign(s.priv, data) }
+
+// --- Simulation signer ---------------------------------------------------
+
+type simKeychain struct {
+	secrets map[ident.ProcessID][]byte
+}
+
+// NewSim builds the fast deterministic keychain: tag = HMAC-SHA256
+// truncated to 16 bytes under a per-process secret. The keychain is the
+// trusted verification oracle of the simulation.
+func NewSim(n int, seed int64) Keychain {
+	kc := &simKeychain{secrets: make(map[ident.ProcessID][]byte, n)}
+	for i := 0; i < n; i++ {
+		var buf [16]byte
+		binary.BigEndian.PutUint64(buf[:8], uint64(seed))
+		binary.BigEndian.PutUint32(buf[8:12], uint32(i))
+		secret := sha256.Sum256(buf[:])
+		kc.secrets[ident.ProcessID(i)] = secret[:]
+	}
+	return kc
+}
+
+func (kc *simKeychain) tag(p ident.ProcessID, data []byte) []byte {
+	secret, ok := kc.secrets[p]
+	if !ok {
+		return nil
+	}
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(data)
+	return mac.Sum(nil)[:16]
+}
+
+func (kc *simKeychain) SignerFor(p ident.ProcessID) Signer {
+	if _, ok := kc.secrets[p]; !ok {
+		panic(fmt.Sprintf("sig: no key for %v", p))
+	}
+	return simSigner{id: p, kc: kc}
+}
+
+func (kc *simKeychain) Verify(p ident.ProcessID, data, sig []byte) bool {
+	want := kc.tag(p, data)
+	return want != nil && hmac.Equal(want, sig)
+}
+
+type simSigner struct {
+	id ident.ProcessID
+	kc *simKeychain
+}
+
+func (s simSigner) ID() ident.ProcessID     { return s.id }
+func (s simSigner) Sign(data []byte) []byte { return s.kc.tag(s.id, data) }

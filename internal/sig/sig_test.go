@@ -1,0 +1,114 @@
+package sig
+
+import (
+	"bytes"
+	"testing"
+
+	"bgla/internal/ident"
+)
+
+func schemes(t *testing.T) map[string]Keychain {
+	t.Helper()
+	return map[string]Keychain{
+		"ed25519": NewEd25519(4, 7),
+		"sim":     NewSim(4, 7),
+	}
+}
+
+func TestSignVerifyRoundtrip(t *testing.T) {
+	for name, kc := range schemes(t) {
+		s := kc.SignerFor(1)
+		if s.ID() != 1 {
+			t.Fatalf("%s: signer id", name)
+		}
+		data := []byte("hello lattice")
+		sig := s.Sign(data)
+		if !kc.Verify(1, data, sig) {
+			t.Fatalf("%s: valid signature rejected", name)
+		}
+		if kc.Verify(2, data, sig) {
+			t.Fatalf("%s: signature verified under wrong identity", name)
+		}
+		if kc.Verify(1, []byte("tampered"), sig) {
+			t.Fatalf("%s: tampered data verified", name)
+		}
+		sig[0] ^= 0xff
+		if kc.Verify(1, data, sig) {
+			t.Fatalf("%s: corrupted signature verified", name)
+		}
+	}
+}
+
+func TestForgeryFails(t *testing.T) {
+	for name, kc := range schemes(t) {
+		data := []byte("forged claim")
+		for _, junk := range [][]byte{nil, {}, {1, 2, 3}, bytes.Repeat([]byte{0}, 64), bytes.Repeat([]byte{0xab}, 16)} {
+			if kc.Verify(0, data, junk) {
+				t.Fatalf("%s: junk signature %v accepted", name, junk)
+			}
+		}
+	}
+}
+
+func TestUnknownProcess(t *testing.T) {
+	for name, kc := range schemes(t) {
+		if kc.Verify(99, []byte("x"), []byte("y")) {
+			t.Fatalf("%s: unknown process verified", name)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: SignerFor(unknown) must panic", name)
+				}
+			}()
+			kc.SignerFor(ident.ProcessID(99))
+		}()
+	}
+}
+
+func TestDeterministicKeyDerivation(t *testing.T) {
+	a := NewEd25519(3, 42).SignerFor(0).Sign([]byte("m"))
+	b := NewEd25519(3, 42).SignerFor(0).Sign([]byte("m"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("ed25519 keys not deterministic in seed")
+	}
+	c := NewEd25519(3, 43).SignerFor(0).Sign([]byte("m"))
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical keys")
+	}
+	x := NewSim(3, 42).SignerFor(1).Sign([]byte("m"))
+	y := NewSim(3, 42).SignerFor(1).Sign([]byte("m"))
+	if !bytes.Equal(x, y) {
+		t.Fatal("sim tags not deterministic")
+	}
+}
+
+func TestCrossSchemeIncompatible(t *testing.T) {
+	ed := NewEd25519(2, 1)
+	sm := NewSim(2, 1)
+	data := []byte("payload")
+	if sm.Verify(0, data, ed.SignerFor(0).Sign(data)) {
+		t.Fatal("sim keychain accepted ed25519 signature")
+	}
+	if ed.Verify(0, data, sm.SignerFor(0).Sign(data)) {
+		t.Fatal("ed25519 keychain accepted sim tag")
+	}
+}
+
+func BenchmarkEd25519Sign(b *testing.B) {
+	s := NewEd25519(1, 1).SignerFor(0)
+	data := []byte("benchmark payload benchmark payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sign(data)
+	}
+}
+
+func BenchmarkSimSign(b *testing.B) {
+	s := NewSim(1, 1).SignerFor(0)
+	data := []byte("benchmark payload benchmark payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sign(data)
+	}
+}

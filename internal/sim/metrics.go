@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"sort"
+
+	"bgla/internal/ident"
+	"bgla/internal/msg"
+)
+
+// Metrics meters network traffic during a run. Broadcasts are expanded
+// into point-to-point sends before metering, matching the paper's
+// message counting ("it has to broadcast its proposal - cost O(n)").
+// Self-deliveries are not metered: they model local function calls.
+type Metrics struct {
+	// SentTotal counts all cross-process messages sent.
+	SentTotal int
+	// Delivered counts messages actually delivered before the horizon.
+	Delivered int
+	// SentByKind counts sends per message kind.
+	SentByKind map[msg.Kind]int
+	// SentByProc counts sends per originating process.
+	SentByProc map[ident.ProcessID]int
+	// SentByProcKind counts sends per originating process and kind.
+	SentByProcKind map[ident.ProcessID]map[msg.Kind]int
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		SentByKind:     make(map[msg.Kind]int),
+		SentByProc:     make(map[ident.ProcessID]int),
+		SentByProcKind: make(map[ident.ProcessID]map[msg.Kind]int),
+	}
+}
+
+func (m *Metrics) recordSend(from ident.ProcessID, k msg.Kind) {
+	m.SentTotal++
+	m.SentByKind[k]++
+	m.SentByProc[from]++
+	pk := m.SentByProcKind[from]
+	if pk == nil {
+		pk = make(map[msg.Kind]int)
+		m.SentByProcKind[from] = pk
+	}
+	pk[k]++
+}
+
+// SentByProcs sums sends originating from the given processes; used to
+// count messages attributable to correct processes only.
+func (m *Metrics) SentByProcs(procs []ident.ProcessID) int {
+	total := 0
+	for _, p := range procs {
+		total += m.SentByProc[p]
+	}
+	return total
+}
+
+// MaxSentByProc returns the maximum per-process send count among the
+// given processes (the "messages per process" of §5.1.3).
+func (m *Metrics) MaxSentByProc(procs []ident.ProcessID) int {
+	maxSent := 0
+	for _, p := range procs {
+		if s := m.SentByProc[p]; s > maxSent {
+			maxSent = s
+		}
+	}
+	return maxSent
+}
+
+// Kinds returns the metered kinds in sorted order (stable reporting).
+func (m *Metrics) Kinds() []msg.Kind {
+	kinds := make([]msg.Kind, 0, len(m.SentByKind))
+	for k := range m.SentByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}

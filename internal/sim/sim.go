@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"bgla/internal/ident"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+)
+
+// Wakeup schedules delivery of a msg.Wakeup{Tag} self-message to a
+// machine at virtual time At. RSM clients use wakeups to pace operation
+// submissions; protocols themselves are timer-free (fully asynchronous).
+type Wakeup struct {
+	At  uint64
+	To  ident.ProcessID
+	Tag string
+}
+
+// Config configures a simulation run.
+type Config struct {
+	// Machines are the participating processes. Each machine's ID must
+	// be unique; IDs need not be dense, but protocol code assumes the
+	// standard p0..p_{n-1} layout.
+	Machines []proto.Machine
+	// Delay is the network delay model; nil defaults to Fixed(1).
+	Delay DelayModel
+	// Seed seeds the scheduler RNG consumed by randomized delay models.
+	Seed int64
+	// MaxTime stops the run once virtual time would exceed it (0 = no
+	// horizon). Messages scheduled past the horizon are left undelivered,
+	// which is how "unbounded delay" adversaries are expressed finitely.
+	MaxTime uint64
+	// MaxDeliveries bounds the total number of deliveries as a runaway
+	// guard (0 = 10 million).
+	MaxDeliveries int
+	// Wakeups are pre-scheduled timer self-messages.
+	Wakeups []Wakeup
+}
+
+// TimedEvent is a protocol event stamped with its virtual time.
+type TimedEvent struct {
+	Time  uint64
+	Event proto.Event
+}
+
+// Result summarizes a run.
+type Result struct {
+	// EndTime is the virtual time of the last delivery processed.
+	EndTime uint64
+	// Timeline holds all protocol events in delivery order.
+	Timeline []TimedEvent
+	// Metrics meters the traffic.
+	Metrics *Metrics
+	// Undelivered counts messages still queued when the run stopped
+	// (only non-zero when MaxTime/MaxDeliveries cut the run short).
+	Undelivered int
+	// Deliveries is the number of deliveries processed.
+	Deliveries int
+}
+
+// Decisions returns the DecideEvents of process p in timeline order.
+func (r *Result) Decisions(p ident.ProcessID) []proto.DecideEvent {
+	var out []proto.DecideEvent
+	for _, te := range r.Timeline {
+		if d, ok := te.Event.(proto.DecideEvent); ok && d.Proc == p {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DecisionTime returns the virtual time of p's first decision, or
+// (0, false) if p never decided.
+func (r *Result) DecisionTime(p ident.ProcessID) (uint64, bool) {
+	for _, te := range r.Timeline {
+		if d, ok := te.Event.(proto.DecideEvent); ok && d.Proc == p {
+			return te.Time, true
+		}
+	}
+	return 0, false
+}
+
+// MaxDecisionTime returns the latest first-decision time among procs and
+// whether all of them decided.
+func (r *Result) MaxDecisionTime(procs []ident.ProcessID) (uint64, bool) {
+	var maxT uint64
+	for _, p := range procs {
+		t, ok := r.DecisionTime(p)
+		if !ok {
+			return 0, false
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return maxT, true
+}
+
+// Refinements counts RefineEvents of process p.
+func (r *Result) Refinements(p ident.ProcessID) int {
+	n := 0
+	for _, te := range r.Timeline {
+		if e, ok := te.Event.(proto.RefineEvent); ok && e.Proc == p {
+			n++
+		}
+	}
+	return n
+}
+
+// item is a queued delivery.
+type item struct {
+	time uint64
+	seq  uint64 // FIFO tiebreak for determinism
+	from ident.ProcessID
+	to   ident.ProcessID
+	msg  msg.Msg
+}
+
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q queue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x any)   { *q = append(*q, x.(*item)) }
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Sim is a deterministic discrete-event scheduler: identical configs
+// (machines, seed, delay model) replay identical runs.
+type Sim struct {
+	cfg      Config
+	byID     map[ident.ProcessID]proto.Machine
+	ids      []ident.ProcessID // delivery fan-out order (ascending)
+	rng      *rand.Rand
+	q        queue
+	seq      uint64
+	now      uint64
+	metrics  *Metrics
+	timeline []TimedEvent
+	started  bool
+}
+
+// New builds a simulator; it panics on duplicate machine IDs (a
+// programming error in test/bench setup, not a runtime condition).
+func New(cfg Config) *Sim {
+	if cfg.Delay == nil {
+		cfg.Delay = Fixed(1)
+	}
+	if cfg.MaxDeliveries == 0 {
+		cfg.MaxDeliveries = 10_000_000
+	}
+	s := &Sim{
+		cfg:     cfg,
+		byID:    make(map[ident.ProcessID]proto.Machine, len(cfg.Machines)),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		metrics: newMetrics(),
+	}
+	for _, m := range cfg.Machines {
+		if _, dup := s.byID[m.ID()]; dup {
+			panic(fmt.Sprintf("sim: duplicate machine id %v", m.ID()))
+		}
+		s.byID[m.ID()] = m
+	}
+	for _, m := range cfg.Machines {
+		s.ids = append(s.ids, m.ID())
+	}
+	sortIDs(s.ids)
+	return s
+}
+
+func sortIDs(ids []ident.ProcessID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// push enqueues one point-to-point message.
+func (s *Sim) push(from, to ident.ProcessID, m msg.Msg) {
+	if _, ok := s.byID[to]; !ok {
+		return // message to a nonexistent process: dropped
+	}
+	var at uint64
+	if from == to {
+		at = s.now // self-delivery is free
+	} else {
+		d := s.cfg.Delay.Delay(from, to, m, s.now, s.rng)
+		if d < 1 {
+			d = 1
+		}
+		at = s.now + d
+		s.metrics.recordSend(from, m.Kind())
+	}
+	s.seq++
+	heap.Push(&s.q, &item{time: at, seq: s.seq, from: from, to: to, msg: m})
+}
+
+// emit routes a machine's outputs into the queue, expanding broadcasts.
+func (s *Sim) emit(from ident.ProcessID, outs []proto.Output) {
+	for _, o := range outs {
+		if o.Msg == nil {
+			continue
+		}
+		if o.To == proto.Broadcast {
+			for _, to := range s.ids {
+				s.push(from, to, o.Msg)
+			}
+			continue
+		}
+		s.push(from, o.To, o.Msg)
+	}
+}
+
+func (s *Sim) drain(m proto.Machine) {
+	for _, e := range proto.DrainEvents(m) {
+		s.timeline = append(s.timeline, TimedEvent{Time: s.now, Event: e})
+	}
+}
+
+func (s *Sim) start() {
+	s.started = true
+	heap.Init(&s.q)
+	for _, w := range s.cfg.Wakeups {
+		s.seq++
+		heap.Push(&s.q, &item{time: w.At, seq: s.seq, from: w.To, to: w.To, msg: msg.Wakeup{Tag: w.Tag}})
+	}
+	for _, id := range s.ids {
+		m := s.byID[id]
+		outs := m.Start()
+		s.emit(id, outs)
+		s.drain(m)
+	}
+}
+
+// Step processes the next delivery; it reports false when the queue is
+// empty or the horizon was reached.
+func (s *Sim) Step() bool {
+	if !s.started {
+		s.start()
+	}
+	if s.q.Len() == 0 {
+		return false
+	}
+	next := s.q[0]
+	if s.cfg.MaxTime > 0 && next.time > s.cfg.MaxTime {
+		return false
+	}
+	heap.Pop(&s.q)
+	s.now = next.time
+	s.metrics.Delivered++
+	m := s.byID[next.to]
+	outs := m.Handle(next.from, next.msg)
+	s.emit(next.to, outs)
+	s.drain(m)
+	return true
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() uint64 { return s.now }
+
+// Run drives the simulation until quiescence, the time horizon, or the
+// delivery budget, and returns the result.
+func (s *Sim) Run() *Result {
+	deliveries := 0
+	for deliveries < s.cfg.MaxDeliveries && s.Step() {
+		deliveries++
+	}
+	return &Result{
+		EndTime:     s.now,
+		Timeline:    s.timeline,
+		Metrics:     s.metrics,
+		Undelivered: s.q.Len(),
+		Deliveries:  deliveries,
+	}
+}

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+)
+
+// relay forwards the first Junk it receives to the next process in the
+// ring and records a DecideEvent stamped with its hop index, letting
+// tests verify virtual-time accounting hop by hop.
+type relay struct {
+	proto.Recorder
+	id   ident.ProcessID
+	n    int
+	seen bool
+}
+
+func (r *relay) ID() ident.ProcessID { return r.id }
+
+func (r *relay) Start() []proto.Output {
+	if r.id != 0 {
+		return nil
+	}
+	// p0 kicks off the chain by messaging itself (free hop).
+	return []proto.Output{proto.Send(0, msg.Junk{Blob: "go"})}
+}
+
+func (r *relay) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	if _, ok := m.(msg.Junk); !ok || r.seen {
+		return nil
+	}
+	r.seen = true
+	r.Emit(proto.DecideEvent{Proc: r.id, Value: lattice.Empty()})
+	next := (int(r.id) + 1) % r.n
+	if next == 0 {
+		return nil
+	}
+	return []proto.Output{proto.Send(ident.ProcessID(next), msg.Junk{Blob: "go"})}
+}
+
+func ringMachines(n int) []proto.Machine {
+	ms := make([]proto.Machine, n)
+	for i := 0; i < n; i++ {
+		ms[i] = &relay{id: ident.ProcessID(i), n: n}
+	}
+	return ms
+}
+
+func TestUnitDelayChainAccounting(t *testing.T) {
+	n := 5
+	s := New(Config{Machines: ringMachines(n), Delay: Fixed(1)})
+	res := s.Run()
+	// p0 hears itself at t=0 (self-delivery free); pk at t=k.
+	for k := 0; k < n; k++ {
+		tm, ok := res.DecisionTime(ident.ProcessID(k))
+		if !ok {
+			t.Fatalf("p%d never fired", k)
+		}
+		if tm != uint64(k) {
+			t.Fatalf("p%d fired at t=%d, want %d", k, tm, k)
+		}
+	}
+	if res.EndTime != uint64(n-1) {
+		t.Fatalf("EndTime = %d, want %d", res.EndTime, n-1)
+	}
+	// n-1 cross-process messages (self hop not metered).
+	if res.Metrics.SentTotal != n-1 {
+		t.Fatalf("SentTotal = %d, want %d", res.Metrics.SentTotal, n-1)
+	}
+}
+
+// broadcaster sends one broadcast on start.
+type broadcaster struct {
+	proto.Recorder
+	id    ident.ProcessID
+	got   int
+	froms []ident.ProcessID
+}
+
+func (b *broadcaster) ID() ident.ProcessID { return b.id }
+func (b *broadcaster) Start() []proto.Output {
+	if b.id == 0 {
+		return []proto.Output{proto.Bcast(msg.Junk{Blob: "hi"})}
+	}
+	return nil
+}
+func (b *broadcaster) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	b.got++
+	b.froms = append(b.froms, from)
+	return nil
+}
+
+func TestBroadcastExpansionAndSelfDelivery(t *testing.T) {
+	n := 4
+	ms := make([]proto.Machine, n)
+	bs := make([]*broadcaster, n)
+	for i := range ms {
+		bs[i] = &broadcaster{id: ident.ProcessID(i)}
+		ms[i] = bs[i]
+	}
+	res := New(Config{Machines: ms, Delay: Fixed(3)}).Run()
+	for i, b := range bs {
+		if b.got != 1 {
+			t.Fatalf("p%d received %d, want 1", i, b.got)
+		}
+		if b.froms[0] != 0 {
+			t.Fatalf("p%d wrong sender %v", i, b.froms[0])
+		}
+	}
+	// Broadcast to n expands to n sends but only n-1 are metered
+	// (self excluded); all delivered.
+	if res.Metrics.SentTotal != n-1 {
+		t.Fatalf("SentTotal = %d, want %d", res.Metrics.SentTotal, n-1)
+	}
+	if res.Metrics.Delivered != n {
+		t.Fatalf("Delivered = %d, want %d", res.Metrics.Delivered, n)
+	}
+	if res.EndTime != 3 {
+		t.Fatalf("EndTime = %d, want 3", res.EndTime)
+	}
+	if res.Metrics.SentByKind[msg.KindJunk] != n-1 {
+		t.Fatalf("SentByKind = %v", res.Metrics.SentByKind)
+	}
+	if res.Metrics.SentByProc[0] != n-1 || res.Metrics.SentByProcKind[0][msg.KindJunk] != n-1 {
+		t.Fatalf("per-proc metrics wrong: %v", res.Metrics.SentByProc)
+	}
+}
+
+func TestWakeupsDeliverAtScheduledTime(t *testing.T) {
+	n := 2
+	ms := make([]proto.Machine, n)
+	var tags []string
+	rec := &funcMachine{id: 1, handle: func(from ident.ProcessID, m msg.Msg) []proto.Output {
+		if w, ok := m.(msg.Wakeup); ok {
+			tags = append(tags, fmt.Sprintf("%s@", w.Tag))
+		}
+		return nil
+	}}
+	ms[0] = &funcMachine{id: 0}
+	ms[1] = rec
+	s := New(Config{
+		Machines: ms,
+		Wakeups:  []Wakeup{{At: 5, To: 1, Tag: "b"}, {At: 2, To: 1, Tag: "a"}},
+	})
+	res := s.Run()
+	if res.EndTime != 5 {
+		t.Fatalf("EndTime = %d, want 5", res.EndTime)
+	}
+	if len(tags) != 2 || tags[0] != "a@" || tags[1] != "b@" {
+		t.Fatalf("wakeups out of order: %v", tags)
+	}
+}
+
+// funcMachine is a minimal configurable machine for tests.
+type funcMachine struct {
+	proto.Recorder
+	id     ident.ProcessID
+	start  func() []proto.Output
+	handle func(ident.ProcessID, msg.Msg) []proto.Output
+}
+
+func (f *funcMachine) ID() ident.ProcessID { return f.id }
+func (f *funcMachine) Start() []proto.Output {
+	if f.start == nil {
+		return nil
+	}
+	return f.start()
+}
+func (f *funcMachine) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	if f.handle == nil {
+		return nil
+	}
+	return f.handle(from, m)
+}
+
+func TestHorizonLeavesUndelivered(t *testing.T) {
+	ms := []proto.Machine{
+		&funcMachine{id: 0, start: func() []proto.Output {
+			return []proto.Output{proto.Send(1, msg.Junk{}), proto.Send(1, msg.Junk{})}
+		}},
+		&funcMachine{id: 1},
+	}
+	delay := DelayFunc(func(from, to ident.ProcessID, m msg.Msg, now uint64, _ *rand.Rand) uint64 {
+		return 100 // both messages past the horizon
+	})
+	res := New(Config{Machines: ms, Delay: delay, MaxTime: 10}).Run()
+	if res.Undelivered != 2 {
+		t.Fatalf("Undelivered = %d, want 2", res.Undelivered)
+	}
+	if res.Deliveries != 0 {
+		t.Fatalf("Deliveries = %d, want 0", res.Deliveries)
+	}
+}
+
+func TestMessagesToUnknownProcessDropped(t *testing.T) {
+	ms := []proto.Machine{
+		&funcMachine{id: 0, start: func() []proto.Output {
+			return []proto.Output{proto.Send(99, msg.Junk{})}
+		}},
+	}
+	res := New(Config{Machines: ms}).Run()
+	if res.Metrics.SentTotal != 0 || res.Deliveries != 0 {
+		t.Fatalf("unexpected traffic: %+v", res.Metrics)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() *Result {
+		return New(Config{Machines: ringMachines(6), Delay: Uniform{Lo: 1, Hi: 9}, Seed: 42}).Run()
+	}
+	a, b := run(), run()
+	if a.EndTime != b.EndTime || a.Deliveries != b.Deliveries {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.Metrics.SentByKind, b.Metrics.SentByKind) {
+		t.Fatal("metrics diverged")
+	}
+	if !reflect.DeepEqual(a.Timeline, b.Timeline) {
+		t.Fatal("timelines diverged")
+	}
+	c := New(Config{Machines: ringMachines(6), Delay: Uniform{Lo: 1, Hi: 9}, Seed: 43}).Run()
+	if reflect.DeepEqual(a.Timeline, c.Timeline) && a.EndTime == c.EndTime {
+		t.Log("different seed produced identical run (possible but unlikely)")
+	}
+}
+
+func TestDelayModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := (Fixed(4)).Delay(0, 1, msg.Junk{}, 0, rng); got != 4 {
+		t.Fatalf("Fixed = %d", got)
+	}
+	u := Uniform{Lo: 2, Hi: 5}
+	for i := 0; i < 100; i++ {
+		d := u.Delay(0, 1, msg.Junk{}, 0, rng)
+		if d < 2 || d > 5 {
+			t.Fatalf("Uniform out of range: %d", d)
+		}
+	}
+	if got := (Uniform{Lo: 3, Hi: 3}).Delay(0, 1, msg.Junk{}, 0, rng); got != 3 {
+		t.Fatalf("degenerate Uniform = %d", got)
+	}
+	ld := LinkDelay{Base: Fixed(1), Extra: map[Link]uint64{{From: 1, To: 2}: 10}}
+	if got := ld.Delay(1, 2, msg.Junk{}, 0, rng); got != 11 {
+		t.Fatalf("LinkDelay = %d", got)
+	}
+	if got := ld.Delay(2, 1, msg.Junk{}, 0, rng); got != 1 {
+		t.Fatalf("LinkDelay reverse = %d", got)
+	}
+	st := SenderStagger{Base: Fixed(1), Offset: map[ident.ProcessID]uint64{3: 7}}
+	if got := st.Delay(3, 0, msg.Junk{}, 0, rng); got != 8 {
+		t.Fatalf("SenderStagger = %d", got)
+	}
+	kd := KindDelay{Base: Fixed(1), Extra: map[msg.Kind]uint64{msg.KindJunk: 5}}
+	if got := kd.Delay(0, 1, msg.Junk{}, 0, rng); got != 6 {
+		t.Fatalf("KindDelay = %d", got)
+	}
+	if got := kd.Delay(0, 1, msg.Wakeup{}, 0, rng); got != 1 {
+		t.Fatalf("KindDelay other kind = %d", got)
+	}
+}
+
+func TestZeroDelayClampedToOne(t *testing.T) {
+	ms := []proto.Machine{
+		&funcMachine{id: 0, start: func() []proto.Output {
+			return []proto.Output{proto.Send(1, msg.Junk{})}
+		}},
+		&funcMachine{id: 1},
+	}
+	res := New(Config{Machines: ms, Delay: Fixed(0)}).Run()
+	if res.EndTime != 1 {
+		t.Fatalf("EndTime = %d, want 1 (cross-process hop must cost >= 1)", res.EndTime)
+	}
+}
+
+func TestDuplicateIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate IDs")
+		}
+	}()
+	New(Config{Machines: []proto.Machine{&funcMachine{id: 0}, &funcMachine{id: 0}}})
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	m := newMetrics()
+	m.recordSend(0, msg.KindAck)
+	m.recordSend(0, msg.KindAck)
+	m.recordSend(1, msg.KindNack)
+	if m.SentByProcs([]ident.ProcessID{0, 1}) != 3 {
+		t.Fatal("SentByProcs")
+	}
+	if m.SentByProcs([]ident.ProcessID{1}) != 1 {
+		t.Fatal("SentByProcs subset")
+	}
+	if m.MaxSentByProc([]ident.ProcessID{0, 1}) != 2 {
+		t.Fatal("MaxSentByProc")
+	}
+	kinds := m.Kinds()
+	if len(kinds) != 2 || kinds[0] != msg.KindAck {
+		t.Fatalf("Kinds = %v", kinds)
+	}
+}

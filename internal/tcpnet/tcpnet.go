@@ -1,0 +1,436 @@
+// Package tcpnet deploys protocol machines over TCP: length-prefixed
+// JSON envelopes on a full mesh of loopback (or LAN) connections, with
+// Ed25519-authenticated connection handshakes implementing the paper's
+// authenticated-link assumption — a connection only delivers messages
+// attributed to an identity that proved itself at hello time.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgla/internal/ident"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+	"bgla/internal/sig"
+)
+
+// maxFrame bounds a single message frame (16 MiB).
+const maxFrame = 16 << 20
+
+// helloMagic is the domain separator of the handshake signature.
+const helloMagic = "bgla/tcp-hello|%d|%d"
+
+// hello is the first frame on every outgoing connection.
+type hello struct {
+	From ident.ProcessID `json:"from"`
+	To   ident.ProcessID `json:"to"`
+	Sig  []byte          `json:"sig"`
+}
+
+// Config configures one TCP node.
+type Config struct {
+	Self ident.ProcessID
+	// Listener carries inbound traffic; the caller creates it (possibly
+	// with port 0) so peer address maps can be built before Start.
+	Listener net.Listener
+	// Peers maps every *other* process to its dial address.
+	Peers map[ident.ProcessID]string
+	// Keychain authenticates connection handshakes.
+	Keychain sig.Keychain
+	// Machine is the protocol state machine to drive.
+	Machine proto.Machine
+	// DialRetry is the reconnect backoff (default 50ms).
+	DialRetry time.Duration
+	// EventBuffer sizes the event channel (default 4096).
+	EventBuffer int
+}
+
+// Node is one deployed process.
+type Node struct {
+	cfg    Config
+	events chan proto.Event
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []inboundMsg
+	closed  bool
+	stopped atomic.Bool
+
+	sendQ map[ident.ProcessID]*sendQueue
+	wg    sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	rejectedHellos atomic.Int64
+}
+
+type inboundMsg struct {
+	from ident.ProcessID
+	m    msg.Msg
+}
+
+type sendQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+}
+
+func newSendQueue() *sendQueue {
+	q := &sendQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *sendQueue) put(frame []byte) {
+	q.mu.Lock()
+	if !q.closed {
+		q.queue = append(q.queue, frame)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+func (q *sendQueue) take() ([]byte, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.queue) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.queue) == 0 {
+		return nil, false
+	}
+	f := q.queue[0]
+	q.queue = q.queue[1:]
+	return f, true
+}
+
+func (q *sendQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// NewNode builds a node.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Listener == nil {
+		return nil, errors.New("tcpnet: listener required")
+	}
+	if cfg.Keychain == nil {
+		return nil, errors.New("tcpnet: keychain required")
+	}
+	if cfg.Machine == nil {
+		return nil, errors.New("tcpnet: machine required")
+	}
+	if cfg.DialRetry == 0 {
+		cfg.DialRetry = 50 * time.Millisecond
+	}
+	if cfg.EventBuffer == 0 {
+		cfg.EventBuffer = 4096
+	}
+	n := &Node{
+		cfg:    cfg,
+		events: make(chan proto.Event, cfg.EventBuffer),
+		sendQ:  make(map[ident.ProcessID]*sendQueue, len(cfg.Peers)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	for p := range cfg.Peers {
+		n.sendQ[p] = newSendQueue()
+	}
+	return n, nil
+}
+
+// Events returns the machine's event stream.
+func (n *Node) Events() <-chan proto.Event { return n.events }
+
+// RejectedHellos counts failed handshake attempts (diagnostics).
+func (n *Node) RejectedHellos() int64 { return n.rejectedHellos.Load() }
+
+// Start launches the accept loop, the per-peer senders and the machine
+// driver; it returns immediately.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.acceptLoop()
+	for p := range n.sendQ {
+		n.wg.Add(1)
+		go n.sendLoop(p)
+	}
+	n.wg.Add(1)
+	go n.driveMachine()
+}
+
+// Stop terminates the node and waits for its goroutines.
+func (n *Node) Stop() {
+	if n.stopped.Swap(true) {
+		return
+	}
+	_ = n.cfg.Listener.Close()
+	for _, q := range n.sendQ {
+		q.close()
+	}
+	n.connMu.Lock()
+	for c := range n.conns {
+		_ = c.Close() // unblock readers
+	}
+	n.connMu.Unlock()
+	n.mu.Lock()
+	n.closed = true
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// track registers a connection for Stop-time teardown; it reports false
+// (and closes the conn) when the node is already stopping.
+func (n *Node) track(c net.Conn) bool {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if n.stopped.Load() {
+		_ = c.Close()
+		return false
+	}
+	n.conns[c] = struct{}{}
+	return true
+}
+
+func (n *Node) untrack(c net.Conn) {
+	n.connMu.Lock()
+	delete(n.conns, c)
+	n.connMu.Unlock()
+}
+
+func (n *Node) enqueueInbound(from ident.ProcessID, m msg.Msg) {
+	n.mu.Lock()
+	if !n.closed {
+		n.inbox = append(n.inbox, inboundMsg{from: from, m: m})
+		n.cond.Signal()
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) takeInbound() (inboundMsg, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for len(n.inbox) == 0 && !n.closed {
+		n.cond.Wait()
+	}
+	if len(n.inbox) == 0 {
+		return inboundMsg{}, false
+	}
+	e := n.inbox[0]
+	n.inbox = n.inbox[1:]
+	return e, true
+}
+
+func (n *Node) driveMachine() {
+	defer n.wg.Done()
+	n.dispatch(n.cfg.Machine.Start())
+	n.drainEvents()
+	for {
+		e, ok := n.takeInbound()
+		if !ok {
+			return
+		}
+		n.dispatch(n.cfg.Machine.Handle(e.from, e.m))
+		n.drainEvents()
+	}
+}
+
+func (n *Node) drainEvents() {
+	for _, e := range proto.DrainEvents(n.cfg.Machine) {
+		select {
+		case n.events <- e:
+		default:
+		}
+	}
+}
+
+func (n *Node) dispatch(outs []proto.Output) {
+	for _, o := range outs {
+		if o.Msg == nil {
+			continue
+		}
+		if o.To == proto.Broadcast {
+			n.enqueueInbound(n.cfg.Self, o.Msg) // self copy
+			for p := range n.sendQ {
+				n.sendTo(p, o.Msg)
+			}
+			continue
+		}
+		if o.To == n.cfg.Self {
+			n.enqueueInbound(n.cfg.Self, o.Msg)
+			continue
+		}
+		n.sendTo(o.To, o.Msg)
+	}
+}
+
+func (n *Node) sendTo(to ident.ProcessID, m msg.Msg) {
+	q, ok := n.sendQ[to]
+	if !ok {
+		return
+	}
+	frame, err := msg.Encode(m)
+	if err != nil {
+		return
+	}
+	q.put(frame)
+}
+
+// sendLoop maintains the outgoing connection to one peer, reconnecting
+// until Stop; queued frames survive reconnects.
+func (n *Node) sendLoop(peer ident.ProcessID) {
+	defer n.wg.Done()
+	var conn net.Conn
+	drop := func() {
+		if conn != nil {
+			n.untrack(conn)
+			_ = conn.Close()
+			conn = nil
+		}
+	}
+	defer drop()
+	q := n.sendQ[peer]
+	var pendingFrame []byte
+	for {
+		frame := pendingFrame
+		if frame == nil {
+			var ok bool
+			frame, ok = q.take()
+			if !ok {
+				return
+			}
+		}
+		pendingFrame = frame
+		if conn == nil {
+			c, err := n.dialPeer(peer)
+			if err != nil {
+				if n.stopped.Load() {
+					return
+				}
+				time.Sleep(n.cfg.DialRetry)
+				continue
+			}
+			conn = c
+		}
+		if err := writeFrame(conn, frame); err != nil {
+			if n.stopped.Load() {
+				return
+			}
+			drop()
+			continue // retry same frame on a fresh connection
+		}
+		pendingFrame = nil
+	}
+}
+
+func (n *Node) dialPeer(peer ident.ProcessID) (net.Conn, error) {
+	addr := n.cfg.Peers[peer]
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if !n.track(conn) {
+		return nil, errors.New("tcpnet: node stopped")
+	}
+	h := hello{From: n.cfg.Self, To: peer}
+	h.Sig = n.cfg.Keychain.SignerFor(n.cfg.Self).Sign(helloBytes(n.cfg.Self, peer))
+	raw, err := json.Marshal(h)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if err := writeFrame(conn, raw); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func helloBytes(from, to ident.ProcessID) []byte {
+	return []byte(fmt.Sprintf(helloMagic, from, to))
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.cfg.Listener.Accept()
+		if err != nil {
+			return // listener closed on Stop
+		}
+		if !n.track(conn) {
+			return
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop authenticates the hello and then feeds frames to the machine
+// attributed to the authenticated peer.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer n.untrack(conn)
+	defer conn.Close()
+	raw, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	var h hello
+	if err := json.Unmarshal(raw, &h); err != nil {
+		n.rejectedHellos.Add(1)
+		return
+	}
+	if h.To != n.cfg.Self || !n.cfg.Keychain.Verify(h.From, helloBytes(h.From, h.To), h.Sig) {
+		n.rejectedHellos.Add(1)
+		return
+	}
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		m, err := msg.Decode(frame)
+		if err != nil {
+			continue // malformed frame: drop, keep connection
+		}
+		n.enqueueInbound(h.From, m)
+	}
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,187 @@
+package tcpnet
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"bgla/internal/core/wts"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+	"bgla/internal/sig"
+)
+
+// launchCluster starts n WTS machines over loopback TCP and returns the
+// nodes plus the machines.
+func launchCluster(t *testing.T, n, f int) ([]*Node, []*wts.Machine) {
+	t.Helper()
+	kc := sig.NewEd25519(n, 9)
+	listeners := make([]net.Listener, n)
+	addrs := make(map[ident.ProcessID]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[ident.ProcessID(i)] = l.Addr().String()
+	}
+	nodes := make([]*Node, n)
+	machines := make([]*wts.Machine, n)
+	for i := 0; i < n; i++ {
+		self := ident.ProcessID(i)
+		m, err := wts.New(wts.Config{Self: self, N: n, F: f, Proposal: lattice.FromStrings(self, "v")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = m
+		peers := make(map[ident.ProcessID]string)
+		for p, a := range addrs {
+			if p != self {
+				peers[p] = a
+			}
+		}
+		node, err := NewNode(Config{
+			Self: self, Listener: listeners[i], Peers: peers,
+			Keychain: kc, Machine: m,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	for _, node := range nodes {
+		node.Start()
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.Stop()
+		}
+	})
+	return nodes, machines
+}
+
+func TestWTSOverTCP(t *testing.T) {
+	n, f := 4, 1
+	nodes, machines := launchCluster(t, n, f)
+	deadline := time.After(20 * time.Second)
+	for i, node := range nodes {
+		decided := false
+		for !decided {
+			select {
+			case e := <-node.Events():
+				if _, ok := e.(proto.DecideEvent); ok {
+					decided = true
+				}
+			case <-deadline:
+				t.Fatalf("node %d did not decide in time", i)
+			}
+		}
+	}
+	for _, node := range nodes {
+		node.Stop()
+	}
+	for i := range machines {
+		di, ok := machines[i].Decision()
+		if !ok {
+			t.Fatalf("p%d undecided after events", i)
+		}
+		for j := i + 1; j < len(machines); j++ {
+			dj, _ := machines[j].Decision()
+			if !di.Comparable(dj) {
+				t.Fatalf("incomparable TCP decisions p%d/p%d", i, j)
+			}
+		}
+	}
+}
+
+func TestHelloForgeryRejected(t *testing.T) {
+	nodes, _ := launchCluster(t, 4, 1)
+	addr := nodes[0].cfg.Listener.Addr().String()
+
+	// Connect with a forged hello claiming to be p1.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	raw, _ := json.Marshal(hello{From: 1, To: 0, Sig: []byte("forged")})
+	if err := writeFrame(conn, raw); err != nil {
+		t.Fatal(err)
+	}
+	// Follow with a frame that must never be attributed to p1.
+	frame, _ := msg.Encode(msg.Junk{Blob: "evil"})
+	_ = writeFrame(conn, frame)
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes[0].RejectedHellos() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("forged hello not rejected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestWrongDestinationHelloRejected(t *testing.T) {
+	nodes, _ := launchCluster(t, 4, 1)
+	kc := sig.NewEd25519(4, 9)
+	addr := nodes[0].cfg.Listener.Addr().String()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Valid signature, but for destination p2: a replayed hello must not
+	// authenticate against p0.
+	h := hello{From: 1, To: 2, Sig: kc.SignerFor(1).Sign(helloBytes(1, 2))}
+	raw, _ := json.Marshal(h)
+	if err := writeFrame(conn, raw); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes[0].RejectedHellos() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("misdirected hello not rejected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	// Frames over the cap are refused by readFrame.
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		var hdr [4]byte
+		hdr[0] = 0xff
+		hdr[1] = 0xff
+		hdr[2] = 0xff
+		hdr[3] = 0xff
+		_, _ = c1.Write(hdr[:])
+	}()
+	if _, err := readFrame(c2); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	kc := sig.NewEd25519(1, 1)
+	m, _ := wts.New(wts.Config{Self: 0, N: 1, F: 0})
+	if _, err := NewNode(Config{Keychain: kc, Machine: m}); err == nil {
+		t.Fatal("must require listener")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := NewNode(Config{Listener: l, Machine: m}); err == nil {
+		t.Fatal("must require keychain")
+	}
+	if _, err := NewNode(Config{Listener: l, Keychain: kc}); err == nil {
+		t.Fatal("must require machine")
+	}
+}

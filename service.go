@@ -1,0 +1,229 @@
+package bgla
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bgla/internal/chanet"
+	"bgla/internal/core"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+	"bgla/internal/rsm"
+)
+
+// ServiceConfig configures a live in-process Byzantine-tolerant RSM.
+type ServiceConfig struct {
+	// Replicas is n; Faulty is the tolerated bound f (n >= 3f+1).
+	Replicas int
+	Faulty   int
+	// MuteReplicas lists replica indices to run as silent Byzantine
+	// replicas (fault injection; at most Faulty of them).
+	MuteReplicas []int
+	// Jitter randomizes delivery delays (0 = immediate).
+	Jitter time.Duration
+	// Seed drives the jitter RNG.
+	Seed int64
+	// OpTimeout bounds each Update/Read call (default 30s).
+	OpTimeout time.Duration
+}
+
+// clientID is the identity the Service uses on the network.
+const clientID ident.ProcessID = 1_000_000
+
+// gatewayMsg carries replica replies to the blocking client.
+type gatewayMsg struct {
+	from ident.ProcessID
+	m    msg.Msg
+}
+
+// gateway is the Service's in-network presence: it forwards replica
+// notifications to the blocking client API.
+type gateway struct {
+	proto.Recorder
+	out chan gatewayMsg
+}
+
+func (g *gateway) ID() ident.ProcessID   { return clientID }
+func (g *gateway) Start() []proto.Output { return nil }
+func (g *gateway) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	switch m.(type) {
+	case msg.Decide, msg.CnfRep:
+		select {
+		case g.out <- gatewayMsg{from: from, m: m}:
+		default: // client not listening: drop (stale notifications)
+		}
+	}
+	return nil
+}
+
+// Service is a live Byzantine-tolerant replicated state machine for
+// commutative updates (§7): a cluster of GWTS replicas on a concurrent
+// in-process network plus a blocking client implementing Algorithms 5
+// and 6. All methods are safe for concurrent use; operations serialize
+// client-side (one in flight), matching the sequential client of the
+// paper.
+type Service struct {
+	cfg   ServiceConfig
+	net   *chanet.Net
+	gw    *gateway
+	mu    sync.Mutex
+	seq   int
+	state lattice.Set // last confirmed read state (cached)
+}
+
+// NewService builds and starts the cluster.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if err := core.ValidateConfig(cfg.Replicas, cfg.Faulty); err != nil {
+		return nil, err
+	}
+	if len(cfg.MuteReplicas) > cfg.Faulty {
+		return nil, fmt.Errorf("bgla: %d mute replicas exceed f=%d", len(cfg.MuteReplicas), cfg.Faulty)
+	}
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = 30 * time.Second
+	}
+	mute := ident.NewSet()
+	for _, i := range cfg.MuteReplicas {
+		mute.Add(ident.ProcessID(i))
+	}
+	gw := &gateway{out: make(chan gatewayMsg, 65536)}
+	machines := []proto.Machine{gw}
+	for i := 0; i < cfg.Replicas; i++ {
+		id := ident.ProcessID(i)
+		if mute.Has(id) {
+			machines = append(machines, &muteMachine{id: id})
+			continue
+		}
+		r, err := rsm.NewReplica(rsm.ReplicaConfig{
+			Self: id, N: cfg.Replicas, F: cfg.Faulty,
+			Clients: []ident.ProcessID{clientID},
+		})
+		if err != nil {
+			return nil, err
+		}
+		machines = append(machines, r)
+	}
+	net := chanet.New(machines, chanet.Options{MaxJitter: cfg.Jitter, Seed: cfg.Seed})
+	net.Start()
+	return &Service{cfg: cfg, net: net, gw: gw}, nil
+}
+
+// Close shuts the cluster down.
+func (s *Service) Close() {
+	s.net.Stop()
+}
+
+// Update applies a commutative command to the replicated state and
+// returns once the command is durably decided (Algorithm 5). The body
+// is made unique automatically (client identity + sequence number).
+func (s *Service) Update(body string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	cmd := lattice.Item{Author: clientID, Body: fmt.Sprintf("%s\x00%d", body, s.seq)}
+	_, err := s.runOp(cmd, false)
+	return err
+}
+
+// Read returns the current confirmed state of the RSM as command items
+// (read markers stripped), per Algorithm 6. Bodies keep the uniqueness
+// suffix added by Update; the CRDT views parse through it.
+func (s *Service) Read() ([]Item, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	nop := rsm.NopCmd(clientID, s.seq)
+	v, err := s.runOp(nop, true)
+	if err != nil {
+		return nil, err
+	}
+	s.state = v
+	return fromLatticeSet(rsm.StripNops(v)), nil
+}
+
+// runOp executes one Alg 5/6 operation; the caller holds the lock.
+func (s *Service) runOp(cmd lattice.Item, confirm bool) (lattice.Set, error) {
+	// Drain stale notifications from previous ops.
+	for {
+		select {
+		case <-s.gw.out:
+			continue
+		default:
+		}
+		break
+	}
+	// Trigger new_value at f+1 replicas. Mute replicas may be among
+	// them; correct ones relay through agreement either way, and all
+	// replicas eventually decide, so target the first f+1 non-mute.
+	targets := 0
+	mute := ident.NewSet()
+	for _, i := range s.cfg.MuteReplicas {
+		mute.Add(ident.ProcessID(i))
+	}
+	for i := 0; i < s.cfg.Replicas && targets < core.ReadQuorum(s.cfg.Faulty); i++ {
+		id := ident.ProcessID(i)
+		if mute.Has(id) {
+			continue
+		}
+		s.net.Inject(clientID, id, msg.NewValue{Cmd: cmd})
+		targets++
+	}
+	deadline := time.NewTimer(s.cfg.OpTimeout)
+	defer deadline.Stop()
+
+	need := core.ReadQuorum(s.cfg.Faulty)
+	deciders := ident.NewSet()
+	candidates := map[string]lattice.Set{}
+	confirmers := map[string]*ident.Set{}
+	confirming := false
+	for {
+		select {
+		case gm := <-s.gw.out:
+			switch v := gm.m.(type) {
+			case msg.Decide:
+				if confirming || !v.Value.Contains(cmd) {
+					continue
+				}
+				deciders.Add(gm.from)
+				if _, ok := candidates[v.Value.Key()]; !ok {
+					candidates[v.Value.Key()] = v.Value
+				}
+				if deciders.Len() < need {
+					continue
+				}
+				if !confirm {
+					return lattice.Empty(), nil // update complete
+				}
+				confirming = true
+				for _, val := range candidates {
+					for i := 0; i < s.cfg.Replicas; i++ {
+						s.net.Inject(clientID, ident.ProcessID(i), msg.CnfReq{Value: val})
+					}
+				}
+			case msg.CnfRep:
+				if !confirming {
+					continue
+				}
+				key := v.Value.Key()
+				if _, ok := candidates[key]; !ok {
+					continue
+				}
+				set := confirmers[key]
+				if set == nil {
+					set = ident.NewSet()
+					confirmers[key] = set
+				}
+				set.Add(gm.from)
+				if set.Len() >= need {
+					return v.Value, nil
+				}
+			}
+		case <-deadline.C:
+			return lattice.Empty(), errors.New("bgla: operation timed out")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package bgla
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServiceCounter(t *testing.T) {
+	svc, err := NewService(ServiceConfig{Replicas: 4, Faulty: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for i := 0; i < 3; i++ {
+		if err := svc.Update(IncCmd(5)); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	if err := svc.Update(DecCmd(3)); err != nil {
+		t.Fatal(err)
+	}
+	state, err := svc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CounterView(state); got != 12 {
+		t.Fatalf("counter = %d, want 12", got)
+	}
+}
+
+func TestServiceSetAndMap(t *testing.T) {
+	svc, err := NewService(ServiceConfig{Replicas: 4, Faulty: 1, Jitter: time.Millisecond, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	mustUpdate := func(cmd string) {
+		t.Helper()
+		if err := svc.Update(cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustUpdate(AddCmd("apple"))
+	mustUpdate(AddCmd("pear"))
+	mustUpdate(RemCmd("pear"))
+	mustUpdate(PutCmd("color", 1, "red"))
+	mustUpdate(PutCmd("color", 2, "green"))
+	state, err := svc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := SetView(state)
+	if len(set) != 1 || set[0] != "apple" {
+		t.Fatalf("SetView = %v", set)
+	}
+	if m := MapView(state); m["color"] != "green" {
+		t.Fatalf("MapView = %v", m)
+	}
+}
+
+func TestServiceReadMonotonic(t *testing.T) {
+	svc, err := NewService(ServiceConfig{Replicas: 4, Faulty: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	var prev int64 = -1
+	for i := 0; i < 4; i++ {
+		if err := svc.Update(IncCmd(1)); err != nil {
+			t.Fatal(err)
+		}
+		state, err := svc.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := CounterView(state)
+		if got <= prev {
+			t.Fatalf("read %d not monotone: %d after %d", i, got, prev)
+		}
+		// Update Visibility: the i+1-th increment must be visible.
+		if got != int64(i+1) {
+			t.Fatalf("read %d = %d, want %d", i, got, i+1)
+		}
+		prev = got
+	}
+}
+
+func TestServiceToleratesMuteReplica(t *testing.T) {
+	svc, err := NewService(ServiceConfig{Replicas: 4, Faulty: 1, MuteReplicas: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Update(AddCmd("x")); err != nil {
+		t.Fatal(err)
+	}
+	state, err := svc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SetView(state); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("SetView = %v", got)
+	}
+}
+
+func TestServiceConcurrentCallers(t *testing.T) {
+	svc, err := NewService(ServiceConfig{Replicas: 4, Faulty: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 2; k++ {
+				if err := svc.Update(AddCmd(fmt.Sprintf("g%d-%d", g, k))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	state, err := svc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(SetView(state)); got != 8 {
+		t.Fatalf("set size = %d, want 8", got)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	if _, err := NewService(ServiceConfig{Replicas: 3, Faulty: 1}); err == nil {
+		t.Fatal("must reject n<3f+1")
+	}
+	if _, err := NewService(ServiceConfig{Replicas: 4, Faulty: 1, MuteReplicas: []int{1, 2}}); err == nil {
+		t.Fatal("must reject too many mutes")
+	}
+}
+
+func TestServiceUpdateBodiesDeduplicated(t *testing.T) {
+	// Two Updates with identical bodies must both count (unique
+	// sequence suffixes).
+	svc, err := NewService(ServiceConfig{Replicas: 4, Faulty: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Update(IncCmd(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Update(IncCmd(1)); err != nil {
+		t.Fatal(err)
+	}
+	state, err := svc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CounterView(state); got != 2 {
+		t.Fatalf("counter = %d, want 2 (identical bodies must stay distinct)", got)
+	}
+}

@@ -1,0 +1,74 @@
+package bgla
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Snapshot is a Byzantine-tolerant atomic snapshot object, the
+// application that originally motivated lattice agreement (Attiya,
+// Herlihy, Rachman — §1/§2 of the paper: implementing a snapshot object
+// is equivalent to solving Lattice Agreement). Each component holds the
+// latest value written to it; Scan returns a consistent global
+// photograph: scans are totally ordered (any two scans are comparable
+// component-wise) and every completed Update is visible to later scans.
+//
+// Internally each Update is a last-writer-wins command on the RSM
+// lattice, with a per-component sequence number as the write stamp, and
+// Scan is an RSM read folded through the LWW map view.
+type Snapshot struct {
+	svc *Service
+
+	mu    sync.Mutex
+	seq   map[string]uint64 // per-component write stamps of this writer
+	stamp uint64
+}
+
+// NewSnapshot builds a snapshot object over a fresh replica cluster.
+func NewSnapshot(cfg ServiceConfig) (*Snapshot, error) {
+	svc, err := NewService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{svc: svc, seq: map[string]uint64{}}, nil
+}
+
+// Close shuts the underlying cluster down.
+func (s *Snapshot) Close() { s.svc.Close() }
+
+// Update writes value into the named component and returns once the
+// write is durably decided.
+func (s *Snapshot) Update(component, value string) error {
+	s.mu.Lock()
+	s.stamp++
+	st := s.stamp
+	s.seq[component] = st
+	s.mu.Unlock()
+	return s.svc.Update(PutCmd(component, st, value))
+}
+
+// Scan returns a consistent snapshot of all components. Two scans are
+// always comparable: one reflects a superset of the writes of the other.
+func (s *Snapshot) Scan() (map[string]string, error) {
+	state, err := s.svc.Read()
+	if err != nil {
+		return nil, err
+	}
+	return MapView(state), nil
+}
+
+// ScanComponent reads one component (empty string when unwritten).
+func (s *Snapshot) ScanComponent(component string) (string, error) {
+	snap, err := s.Scan()
+	if err != nil {
+		return "", err
+	}
+	return snap[component], nil
+}
+
+// String renders a diagnostic summary.
+func (s *Snapshot) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("bgla.Snapshot{writes: %d components, %d stamps}", len(s.seq), s.stamp)
+}
