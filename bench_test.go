@@ -98,6 +98,10 @@ func BenchmarkE14Throughput(b *testing.B) {
 	benchTable(b, func() *exp.Table { return exp.Throughput(true) }, "values/decision", "values/decision")
 }
 
+func BenchmarkE15BatchThroughput(b *testing.B) {
+	benchTable(b, func() *exp.Table { return exp.BatchThroughput(true) }, "ops/sec", "ops/sec")
+}
+
 // --- protocol micro-benchmarks -------------------------------------------
 
 func proposalsFor(n int) map[int][]string {
@@ -175,6 +179,47 @@ func BenchmarkServiceUpdate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServiceUpdateConcurrent drives parallel updaters through the
+// batching pipeline; compare with BenchmarkServiceUpdateUnbatched to see
+// the coalescing win under contention.
+func BenchmarkServiceUpdateConcurrent(b *testing.B) {
+	svc, err := bgla.NewService(bgla.ServiceConfig{Replicas: 4, Faulty: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := svc.Update(bgla.IncCmd(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServiceUpdateUnbatched forces the seed's one-at-a-time
+// client (batch 1, one flight) under the same parallel load.
+func BenchmarkServiceUpdateUnbatched(b *testing.B) {
+	svc, err := bgla.NewService(bgla.ServiceConfig{
+		Replicas: 4, Faulty: 1, MaxBatch: 1, MaxInFlight: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := svc.Update(bgla.IncCmd(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkServiceRead(b *testing.B) {

@@ -1,12 +1,14 @@
 // Command bglabench regenerates every experiment table of
 // EXPERIMENTS.md: the Figure 1 chain, the Theorem 1 resilience attack,
 // the latency and message-complexity bounds of WTS/GWTS/SbS/GSbS, the
-// RSM linearizability workload, the crash-stop baseline comparison and
-// the defense ablations.
+// RSM linearizability workload, the crash-stop baseline comparison, the
+// defense ablations and the live batched-vs-unbatched throughput
+// benchmark (E15), whose structured report is written to
+// BENCH_batch.json so the performance trajectory is tracked across PRs.
 //
 // Usage:
 //
-//	bglabench [-quick] [-only E4,E8]
+//	bglabench [-quick] [-only E4,E8] [-batchout BENCH_batch.json]
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "trimmed parameter sweeps (fast)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E2,E8)")
+	batchOut := flag.String("batchout", "BENCH_batch.json", "path for the E15 throughput report (empty disables)")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -30,15 +33,36 @@ func main() {
 			wanted[id] = true
 		}
 	}
+	selected := func(id string) bool { return len(wanted) == 0 || wanted[id] }
 
 	failed := 0
-	for _, tbl := range exp.All(*quick) {
-		if len(wanted) > 0 && !wanted[tbl.ID] {
-			continue
+	show := func(tbl *exp.Table) {
+		if !selected(tbl.ID) {
+			return
 		}
 		fmt.Println(tbl.Render())
 		if !tbl.Pass {
 			failed++
+		}
+	}
+	for _, tbl := range exp.AllBase(*quick) {
+		show(tbl)
+	}
+	if selected("E15") {
+		rep, err := exp.BatchThroughputReport(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bglabench: E15: %v\n", err)
+			failed++
+		} else {
+			show(rep.Table())
+			if *batchOut != "" {
+				if err := os.WriteFile(*batchOut, rep.JSON(), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "bglabench: writing %s: %v\n", *batchOut, err)
+					failed++
+				} else {
+					fmt.Printf("wrote %s (best batched speedup: %.2fx)\n", *batchOut, rep.BestSpeedup)
+				}
+			}
 		}
 	}
 	if failed > 0 {

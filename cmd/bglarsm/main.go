@@ -1,24 +1,29 @@
 // Command bglarsm demonstrates the §7 replicated state machine over
 // real TCP loopback connections with Ed25519-authenticated links: it
-// launches n replica nodes, drives a counter workload through
-// Generalized Lattice Agreement and prints the replicated state.
+// launches n replica nodes plus a client node running the batching
+// pipeline (internal/batch), drives a concurrent counter workload
+// through Generalized Lattice Agreement, and prints throughput, batch
+// amortization and the replicated state (confirmed by an Algorithm 6
+// read over the wire).
 //
 // Usage:
 //
-//	bglarsm -n 4 -f 1 -ops 10
+//	bglarsm -n 4 -f 1 -ops 64 -conc 8 -batch 64 -inflight 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"sync"
 	"time"
 
-	"bgla/internal/core/gwts"
+	"bgla/internal/batch"
 	"bgla/internal/ident"
-	"bgla/internal/lattice"
 	"bgla/internal/msg"
+	"bgla/internal/proto"
 	"bgla/internal/rsm"
 	"bgla/internal/sig"
 	"bgla/internal/tcpnet"
@@ -27,20 +32,40 @@ import (
 func main() {
 	n := flag.Int("n", 4, "replicas")
 	f := flag.Int("f", 1, "Byzantine bound")
-	ops := flag.Int("ops", 10, "counter increments to apply")
+	ops := flag.Int("ops", 64, "counter increments to apply")
+	conc := flag.Int("conc", 8, "concurrent client workers")
+	batchSize := flag.Int("batch", 64, "max operations per lattice proposal (1 = unbatched)")
+	inflight := flag.Int("inflight", 8, "max pipelined proposals")
 	flag.Parse()
 
-	if err := run(*n, *f, *ops); err != nil {
+	if err := run(*n, *f, *ops, *conc, *batchSize, *inflight); err != nil {
 		fmt.Fprintf(os.Stderr, "bglarsm: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, f, ops int) error {
-	kc := sig.NewEd25519(n, time.Now().UnixNano())
-	listeners := make([]net.Listener, n)
-	addrs := make(map[ident.ProcessID]string, n)
-	for i := 0; i < n; i++ {
+// pipeGateway is the client node's protocol machine: it forwards
+// replica notifications into the batching pipeline.
+type pipeGateway struct {
+	proto.Recorder
+	self    ident.ProcessID
+	deliver func(from ident.ProcessID, m msg.Msg)
+}
+
+func (g *pipeGateway) ID() ident.ProcessID   { return g.self }
+func (g *pipeGateway) Start() []proto.Output { return nil }
+func (g *pipeGateway) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	g.deliver(from, m)
+	return nil
+}
+
+func run(n, f, ops, conc, batchSize, inflight int) error {
+	// One extra identity in the PKI: the client node is process n.
+	clientID := ident.ProcessID(n)
+	kc := sig.NewEd25519(n+1, time.Now().UnixNano())
+	listeners := make([]net.Listener, n+1)
+	addrs := make(map[ident.ProcessID]string, n+1)
+	for i := 0; i <= n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -48,119 +73,181 @@ func run(n, f, ops int) error {
 		listeners[i] = l
 		addrs[ident.ProcessID(i)] = l.Addr().String()
 	}
-	fmt.Printf("launching %d replicas (f=%d) on loopback TCP:\n", n, f)
-	for id, a := range addrs {
-		fmt.Printf("  replica %v -> %s\n", id, a)
+	fmt.Printf("launching %d replicas (f=%d) + 1 batching client on loopback TCP:\n", n, f)
+	for i := 0; i <= n; i++ {
+		role := "replica"
+		if i == n {
+			role = "client "
+		}
+		fmt.Printf("  %s %d -> %s\n", role, i, addrs[ident.ProcessID(i)])
 	}
 
-	nodes := make([]*tcpnet.Node, n)
-	replicas := make([]*gwts.Machine, n)
-	for i := 0; i < n; i++ {
-		self := ident.ProcessID(i)
-		r, err := rsm.NewReplica(rsm.ReplicaConfig{Self: self, N: n, F: f})
-		if err != nil {
-			return err
-		}
-		replicas[i] = r
+	peersOf := func(self ident.ProcessID) map[ident.ProcessID]string {
 		peers := map[ident.ProcessID]string{}
 		for p, a := range addrs {
 			if p != self {
 				peers[p] = a
 			}
 		}
-		node, err := tcpnet.NewNode(tcpnet.Config{
-			Self: self, Listener: listeners[i], Peers: peers,
-			Keychain: kc, Machine: r,
-		})
-		if err != nil {
-			return err
-		}
-		nodes[i] = node
-		node.Start()
+		return peers
 	}
+
+	var nodes []*tcpnet.Node
 	defer func() {
 		for _, node := range nodes {
 			node.Stop()
 		}
 	}()
-
-	// Submit ops by dialing replica 0 and 1 as an external client would;
-	// here we reuse replica 0's inbound path through a dedicated client
-	// connection, i.e. we inject through the public protocol messages.
-	client := clientConn{kc: kc, addrs: addrs, self: ident.ProcessID(1_000_000)}
-	start := time.Now()
-	for k := 0; k < ops; k++ {
-		cmd := lattice.Item{Author: client.self, Body: fmt.Sprintf("inc-%d", k)}
-		for r := 0; r <= f; r++ {
-			if err := client.send(ident.ProcessID(r), msg.NewValue{Cmd: cmd}); err != nil {
-				return err
-			}
-		}
-	}
-	// Wait until every replica has decided all ops.
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		allDone := true
-		for _, r := range replicas {
-			if r.Decided().Len() < ops {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
-			break
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("timed out waiting for replication")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	elapsed := time.Since(start)
-	fmt.Printf("\nreplicated %d commands in %v\n", ops, elapsed.Round(time.Millisecond))
-	for i, r := range replicas {
-		fmt.Printf("replica %d: %d commands decided over %d rounds\n",
-			i, r.Decided().Len(), len(r.Decisions()))
-	}
-	fmt.Println("all replicas converged: decisions form a single growing chain")
-	return nil
-}
-
-// clientConn sends authenticated protocol messages to replicas over TCP.
-type clientConn struct {
-	kc    sig.Keychain
-	addrs map[ident.ProcessID]string
-	self  ident.ProcessID
-	conns map[ident.ProcessID]net.Conn
-}
-
-func (c *clientConn) send(to ident.ProcessID, m msg.Msg) error {
-	// The demo keychain covers only replicas; clients are trusted via a
-	// replica-0 key here purely to exercise the wire path. Production
-	// deployments provision client keys in the same PKI.
-	if c.conns == nil {
-		c.conns = map[ident.ProcessID]net.Conn{}
-	}
-	conn, ok := c.conns[to]
-	if !ok {
-		var err error
-		conn, err = net.Dial("tcp", c.addrs[to])
+	// Replica progress is tracked through the node event streams:
+	// machine state must never be read while a node is driving it.
+	progress := make([]replicaProgress, n)
+	for i := 0; i < n; i++ {
+		self := ident.ProcessID(i)
+		r, err := rsm.NewReplica(rsm.ReplicaConfig{
+			Self: self, N: n, F: f, Clients: []ident.ProcessID{clientID},
+		})
 		if err != nil {
 			return err
 		}
-		hello := struct {
-			From ident.ProcessID `json:"from"`
-			To   ident.ProcessID `json:"to"`
-			Sig  []byte          `json:"sig"`
-		}{From: 0, To: to}
-		hello.Sig = c.kc.SignerFor(0).Sign([]byte(fmt.Sprintf("bgla/tcp-hello|%d|%d", 0, to)))
-		if err := writeJSONFrame(conn, hello); err != nil {
+		node, err := tcpnet.NewNode(tcpnet.Config{
+			Self: self, Listener: listeners[i], Peers: peersOf(self),
+			Keychain: kc, Machine: r,
+		})
+		if err != nil {
 			return err
 		}
-		c.conns[to] = conn
+		nodes = append(nodes, node)
+		go progress[i].follow(node.Events())
+		node.Start()
 	}
-	raw, err := msg.Encode(m)
+
+	// The client node: the batching pipeline sends through its
+	// authenticated links and receives notifications via the gateway.
+	gw := &pipeGateway{self: clientID}
+	clientNode, err := tcpnet.NewNode(tcpnet.Config{
+		Self: clientID, Listener: listeners[n], Peers: peersOf(clientID),
+		Keychain: kc, Machine: gw,
+	})
 	if err != nil {
 		return err
 	}
-	return writeRawFrame(conn, raw)
+	nodes = append(nodes, clientNode)
+	pipe, err := batch.New(batch.Config{
+		Client:      clientID,
+		Replicas:    ident.Range(n),
+		F:           f,
+		MaxBatch:    batchSize,
+		MaxInFlight: inflight,
+	}, clientNode)
+	if err != nil {
+		return err
+	}
+	defer pipe.Close()
+	gw.deliver = pipe.Deliver
+	clientNode.Start()
+
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, conc)
+	next := make(chan int, ops)
+	for k := 0; k < ops; k++ {
+		next <- k
+	}
+	close(next)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				cmd := rsm.UniqueCmd(clientID, k, "inc")
+				if err := pipe.Update(ctx, cmd); err != nil {
+					errs <- fmt.Errorf("op %d: %w", k, err)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Confirmed read over the wire (Algorithm 6).
+	state, err := pipe.Read(ctx)
+	if err != nil {
+		return err
+	}
+	decided := rsm.StripNops(state).Len()
+
+	st := pipe.Stats()
+	fmt.Printf("\nreplicated %d commands in %v (%.0f ops/sec)\n",
+		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds())
+	fmt.Printf("pipeline: %d flights, avg batch %.2f, max batch %d\n",
+		st.Flights, st.AvgBatch(), st.MaxBatchOps)
+	fmt.Printf("confirmed read: %d commands visible\n", decided)
+	if decided != ops {
+		return fmt.Errorf("read shows %d commands, want %d", decided, ops)
+	}
+	// The confirmed read proves f+1 replicas; wait (bounded) for the
+	// rest of the cluster to catch up, via the event streams.
+	converged := true
+	deadline := time.Now().Add(10 * time.Second)
+	for i := range progress {
+		for progress[i].commands() < ops && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		cmds, rounds := progress[i].snapshot()
+		fmt.Printf("replica %d: %d commands decided over %d rounds\n", i, cmds, rounds)
+		if cmds < ops {
+			converged = false
+		}
+	}
+	if converged {
+		fmt.Println("all replicas converged: decisions form a single growing chain")
+	} else {
+		fmt.Println("some replicas still catching up (decisions grow toward the same chain)")
+	}
+	return nil
+}
+
+// replicaProgress follows one replica's decisions through its node
+// event stream (values received over a channel are safe to read).
+type replicaProgress struct {
+	mu     sync.Mutex
+	cmds   int
+	rounds int
+}
+
+func (rp *replicaProgress) follow(events <-chan proto.Event) {
+	for e := range events {
+		d, ok := e.(proto.DecideEvent)
+		if !ok {
+			continue
+		}
+		n := rsm.StripNops(d.Value).Len()
+		rp.mu.Lock()
+		rp.rounds++
+		if n > rp.cmds {
+			rp.cmds = n
+		}
+		rp.mu.Unlock()
+	}
+}
+
+func (rp *replicaProgress) commands() int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.cmds
+}
+
+func (rp *replicaProgress) snapshot() (int, int) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.cmds, rp.rounds
 }

@@ -1,0 +1,58 @@
+// Batching: many goroutines hammer one Byzantine-tolerant RSM (with a
+// silent Byzantine replica in the cluster) through the concurrent
+// Service API. Generalized Lattice Agreement decides joins of
+// concurrently proposed commands, so the batching pipeline coalesces
+// concurrent updates into shared lattice proposals: the pipeline stats
+// printed at the end show many operations riding far fewer agreement
+// rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"bgla"
+)
+
+func main() {
+	svc, err := bgla.NewService(bgla.ServiceConfig{
+		Replicas:     4,
+		Faulty:       1,
+		MuteReplicas: []int{3}, // one silent Byzantine replica
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	const (
+		workers      = 16
+		opsPerWorker = 8
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < opsPerWorker; k++ {
+				if err := svc.Update(bgla.IncCmd(1)); err != nil {
+					log.Fatalf("worker %d: %v", w, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	state, err := svc.Read()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := svc.BatchStats()
+	fmt.Printf("%d workers x %d updates against 4 replicas (1 Byzantine-silent)\n",
+		workers, opsPerWorker)
+	fmt.Printf("replicated counter: %d\n", bgla.CounterView(state))
+	fmt.Printf("pipeline: %d ops over %d lattice proposals (avg batch %.2f, max %d)\n",
+		st.Ops, st.Flights, st.AvgBatch, st.MaxBatchOps)
+	fmt.Println("batching is semantically free: GLA decides joins of concurrent proposals")
+}

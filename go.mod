@@ -1,0 +1,3 @@
+module bgla
+
+go 1.24

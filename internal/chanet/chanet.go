@@ -215,13 +215,17 @@ func (n *Net) Inject(from, to ident.ProcessID, m msg.Msg) {
 }
 
 // Stop shuts the network down and waits for the machine goroutines.
+// Machine goroutines are quiesced before the jitter timers are awaited:
+// an in-flight dispatch may still register timers (timerWG.Add), so
+// waiting on timerWG is only sound once wg.Wait has returned. Jittered
+// deliveries that fire afterwards land in closed mailboxes (no-ops).
 func (n *Net) Stop() {
 	n.stopped.Store(true)
-	n.timerWG.Wait()
 	for _, mb := range n.mailboxes {
 		mb.close()
 	}
 	n.wg.Wait()
+	n.timerWG.Wait()
 }
 
 // AwaitEvents drains the event stream until pred has been satisfied

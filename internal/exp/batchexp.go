@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"bgla"
+)
+
+// BatchBenchRow is one measured pipeline configuration.
+type BatchBenchRow struct {
+	JitterUS     int     `json:"jitter_us"`
+	MaxBatch     int     `json:"max_batch"`
+	MaxInFlight  int     `json:"max_in_flight"`
+	Clients      int     `json:"clients"`
+	OpsPerClient int     `json:"ops_per_client"`
+	Ops          int     `json:"ops"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	Flights      uint64  `json:"flights"`
+	AvgBatch     float64 `json:"avg_batch"`
+	// Speedup is ops/sec relative to the unbatched (1/1) row at the
+	// same jitter level (1.0 for the baseline itself).
+	Speedup float64 `json:"speedup_vs_unbatched"`
+}
+
+// BatchBenchReport aggregates the batched-vs-unbatched throughput
+// comparison; cmd/bglabench serializes it to BENCH_batch.json so the
+// perf trajectory is tracked across PRs.
+type BatchBenchReport struct {
+	Experiment string          `json:"experiment"`
+	Replicas   int             `json:"replicas"`
+	Faulty     int             `json:"faulty"`
+	Rows       []BatchBenchRow `json:"rows"`
+	// BestSpeedup is the largest batched-over-unbatched ratio observed.
+	BestSpeedup float64 `json:"best_speedup"`
+	// Pass3x requires >= 3x at batch size >= 8 for every jitter level.
+	Pass3x bool `json:"pass_3x"`
+}
+
+// JSON renders the report (indented, trailing newline).
+func (r *BatchBenchReport) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // static struct: cannot fail
+	}
+	return append(out, '\n')
+}
+
+// runBatchConfig drives clients×opsPerClient concurrent updates through
+// one Service configuration and measures wall-clock throughput.
+func runBatchConfig(jitter time.Duration, maxBatch, inflight, clients, opsPerClient int) (BatchBenchRow, error) {
+	row := BatchBenchRow{
+		JitterUS: int(jitter / time.Microsecond),
+		MaxBatch: maxBatch, MaxInFlight: inflight,
+		Clients: clients, OpsPerClient: opsPerClient,
+		Ops: clients * opsPerClient,
+	}
+	svc, err := bgla.NewService(bgla.ServiceConfig{
+		Replicas: 4, Faulty: 1,
+		Jitter: jitter, Seed: 1,
+		MaxBatch: maxBatch, MaxInFlight: inflight,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer svc.Close()
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < opsPerClient; k++ {
+				if err := svc.Update(bgla.IncCmd(1)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return row, err
+		}
+	}
+	// Correctness gate: throughput only counts if every increment took.
+	state, err := svc.Read()
+	if err != nil {
+		return row, err
+	}
+	if got := bgla.CounterView(state); got != int64(row.Ops) {
+		return row, fmt.Errorf("counter = %d after %d increments", got, row.Ops)
+	}
+	st := svc.BatchStats()
+	row.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	row.OpsPerSec = float64(row.Ops) / elapsed.Seconds()
+	row.Flights = st.Flights
+	row.AvgBatch = st.AvgBatch
+	return row, nil
+}
+
+// BatchThroughputReport (E15) compares the batching pipeline against
+// the seed one-at-a-time client (MaxBatch=1, MaxInFlight=1) across
+// batch sizes and delivery-jitter levels.
+func BatchThroughputReport(quick bool) (*BatchBenchReport, error) {
+	clients, opsPerClient := 64, 8
+	jitters := []time.Duration{0, 200 * time.Microsecond}
+	if quick {
+		clients, opsPerClient = 16, 4
+		jitters = jitters[:1]
+	}
+	configs := []struct{ batch, inflight int }{
+		{1, 1}, // unbatched baseline: the seed's serialized client
+		{8, 4},
+		{64, 8},
+	}
+	rep := &BatchBenchReport{
+		Experiment: "batched vs unbatched RSM throughput",
+		Replicas:   4, Faulty: 1,
+		Pass3x: true,
+	}
+	for _, jitter := range jitters {
+		var baseline float64
+		bestAtJitter := 0.0
+		for _, cfg := range configs {
+			row, err := runBatchConfig(jitter, cfg.batch, cfg.inflight, clients, opsPerClient)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.batch == 1 {
+				baseline = row.OpsPerSec
+			}
+			row.Speedup = row.OpsPerSec / baseline
+			if cfg.batch >= 8 && row.Speedup > bestAtJitter {
+				bestAtJitter = row.Speedup
+			}
+			if row.Speedup > rep.BestSpeedup {
+				rep.BestSpeedup = row.Speedup
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+		if bestAtJitter < 3 {
+			rep.Pass3x = false
+		}
+	}
+	return rep, nil
+}
+
+// Table renders the report as the E15 experiment table.
+func (r *BatchBenchReport) Table() *Table {
+	t := &Table{
+		ID:      "E15",
+		Title:   "batching & pipelining — batched vs unbatched RSM throughput",
+		Columns: []string{"jitter µs", "batch", "inflight", "ops", "ops/sec", "flights", "avg batch", "speedup"},
+		Pass:    r.Pass3x,
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.JitterUS, row.MaxBatch, row.MaxInFlight, row.Ops,
+			row.OpsPerSec, row.Flights, row.AvgBatch, row.Speedup)
+	}
+	t.Note("baseline rows (batch=1, inflight=1) reproduce the seed one-at-a-time client")
+	t.Note("pass requires >= 3x ops/sec at batch size >= 8 for every jitter level")
+	return t
+}
+
+// BatchThroughput (E15) is the Table-producing wrapper used by All and
+// the root benchmarks.
+func BatchThroughput(quick bool) *Table {
+	rep, err := BatchThroughputReport(quick)
+	if err != nil {
+		t := &Table{
+			ID:      "E15",
+			Title:   "batching & pipelining — batched vs unbatched RSM throughput",
+			Columns: []string{"error"},
+		}
+		t.AddRow(err.Error())
+		return t
+	}
+	return rep.Table()
+}

@@ -36,6 +36,34 @@ func TestE14Throughput(t *testing.T) {
 	requirePass(t, Throughput(true))
 }
 
+func TestE15BatchThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-runtime experiment")
+	}
+	rep, err := BatchThroughputReport(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if len(rep.JSON()) == 0 {
+		t.Fatal("empty JSON report")
+	}
+	// The 3x wall-clock gate is meaningless under the race detector's
+	// slowdown; there require only that batching still clearly wins.
+	if raceEnabled {
+		if rep.BestSpeedup < 1.5 {
+			t.Fatalf("best batched speedup %.2fx < 1.5x (race build)", rep.BestSpeedup)
+		}
+		return
+	}
+	requirePass(t, rep.Table())
+	if rep.BestSpeedup < 3 {
+		t.Fatalf("best batched speedup %.2fx < 3x", rep.BestSpeedup)
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tbl := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}, Pass: true}
 	tbl.AddRow(1, 2.5)
@@ -62,14 +90,14 @@ func TestPluralAndItoa(t *testing.T) {
 }
 
 // TestAllAggregatesEveryExperiment exercises the cmd/bglabench entry
-// point: all fourteen tables, trimmed sweeps, every one passing.
+// point: all fifteen tables, trimmed sweeps, every one passing.
 func TestAllAggregatesEveryExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("aggregate sweep")
 	}
 	tables := All(true)
-	if len(tables) != 14 {
-		t.Fatalf("All returned %d tables, want 14", len(tables))
+	if len(tables) != 15 {
+		t.Fatalf("All returned %d tables, want 15", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tbl := range tables {
@@ -78,13 +106,17 @@ func TestAllAggregatesEveryExperiment(t *testing.T) {
 		}
 		seen[tbl.ID] = true
 		if !tbl.Pass {
-			t.Errorf("%s failed:\n%s", tbl.ID, tbl.Render())
+			if tbl.ID == "E15" && raceEnabled {
+				t.Logf("E15 under race detector (wall-clock gate not binding):\n%s", tbl.Render())
+			} else {
+				t.Errorf("%s failed:\n%s", tbl.ID, tbl.Render())
+			}
 		}
 		if len(tbl.Rows) == 0 || len(tbl.Columns) == 0 {
 			t.Errorf("%s is empty", tbl.ID)
 		}
 	}
-	for i := 1; i <= 14; i++ {
+	for i := 1; i <= 15; i++ {
 		id := "E" + itoa(i)
 		if !seen[id] {
 			t.Errorf("experiment %s missing from All", id)

@@ -196,15 +196,30 @@ func Throughput(quick bool) *Table {
 			cmd := lattice.Item{Author: 1000, Body: fmt.Sprintf("val-%d", k)}
 			net.Inject(1000, ident.ProcessID(k%(f+1)), msg.NewValue{Cmd: cmd})
 		}
-		// Wait until p0 has decided all values.
+		// Wait until p0 has decided all values, following its decision
+		// sizes through the event stream: machine state must not be read
+		// while the net is still driving the machines concurrently.
+		// The event buffer can overflow and drop a final DecideEvent, so
+		// a no-progress bound (not just the deadline) ends the wait; the
+		// authoritative decided count is read after Stop quiesces the
+		// machines.
 		deadline := time.Now().Add(60 * time.Second)
-		for time.Now().Before(deadline) {
-			net.AwaitEvents(1, 50*time.Millisecond, func(e proto.Event) bool {
-				_, ok := e.(proto.DecideEvent)
-				return ok
+		decidedLen, idle := 0, 0
+		for decidedLen < values && idle < 40 && time.Now().Before(deadline) {
+			got := net.AwaitEvents(1, 50*time.Millisecond, func(e proto.Event) bool {
+				d, ok := e.(proto.DecideEvent)
+				if !ok || d.Proc != 0 {
+					return false
+				}
+				if d.Value.Len() > decidedLen {
+					decidedLen = d.Value.Len()
+				}
+				return true
 			})
-			if replicas[0].Decided().Len() >= values {
-				break
+			if got == 0 {
+				idle++
+			} else {
+				idle = 0
 			}
 		}
 		wall := time.Since(start)

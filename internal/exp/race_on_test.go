@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled marks builds instrumented by the race detector, whose
+// 5-20x slowdown makes wall-clock speedup gates unreliable.
+const raceEnabled = true

@@ -24,6 +24,15 @@ func NopCmd(client ident.ProcessID, seq int) lattice.Item {
 	return lattice.Item{Author: client, Body: nopPrefix + client.String() + "|" + itoa(seq)}
 }
 
+// UniqueCmd builds an update command whose body is made unique by the
+// client identity and a per-client sequence number (the uniqueness
+// requirement of §7: the lattice is the power set of *distinct*
+// commands, so identical payloads must not collapse). The CRDT views
+// parse through the suffix.
+func UniqueCmd(client ident.ProcessID, seq int, body string) lattice.Item {
+	return lattice.Item{Author: client, Body: body + "\x00" + itoa(seq)}
+}
+
 // IsNop reports whether an item is a read marker.
 func IsNop(it lattice.Item) bool { return strings.HasPrefix(it.Body, nopPrefix) }
 

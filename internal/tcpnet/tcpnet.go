@@ -276,6 +276,18 @@ func (n *Node) dispatch(outs []proto.Output) {
 	}
 }
 
+// Send queues a message to a peer on the node's authenticated links,
+// bypassing the machine: client gateways (e.g. the batching pipeline)
+// originate traffic directly while inbound notifications still flow
+// through the machine. Satisfies batch.Sender.
+func (n *Node) Send(to ident.ProcessID, m msg.Msg) {
+	if to == n.cfg.Self {
+		n.enqueueInbound(n.cfg.Self, m)
+		return
+	}
+	n.sendTo(to, m)
+}
+
 func (n *Node) sendTo(to ident.ProcessID, m msg.Msg) {
 	q, ok := n.sendQ[to]
 	if !ok {

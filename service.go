@@ -1,15 +1,15 @@
 package bgla
 
 import (
-	"errors"
+	"context"
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
+	"bgla/internal/batch"
 	"bgla/internal/chanet"
 	"bgla/internal/core"
 	"bgla/internal/ident"
-	"bgla/internal/lattice"
 	"bgla/internal/msg"
 	"bgla/internal/proto"
 	"bgla/internal/rsm"
@@ -29,50 +29,64 @@ type ServiceConfig struct {
 	Seed int64
 	// OpTimeout bounds each Update/Read call (default 30s).
 	OpTimeout time.Duration
+
+	// Batching pipeline knobs (zero = defaults; see internal/batch).
+	//
+	// MaxBatch bounds operations coalesced into one lattice proposal
+	// (default 64; 1 with MaxInFlight 1 restores the seed's strictly
+	// one-at-a-time client).
+	MaxBatch int
+	// MaxBatchDelay bounds how long a forming batch lingers for more
+	// operations once every flight slot is busy (default 200µs).
+	MaxBatchDelay time.Duration
+	// MaxInFlight bounds pipelined proposals (default 8).
+	MaxInFlight int
+	// QueueDepth bounds queued operations; beyond it callers block —
+	// backpressure (default 4096).
+	QueueDepth int
 }
 
 // clientID is the identity the Service uses on the network.
 const clientID ident.ProcessID = 1_000_000
 
-// gatewayMsg carries replica replies to the blocking client.
-type gatewayMsg struct {
-	from ident.ProcessID
-	m    msg.Msg
-}
-
 // gateway is the Service's in-network presence: it forwards replica
-// notifications to the blocking client API.
+// notifications to the batching pipeline, which content-matches them
+// against every in-flight batch (no stale-drop window: a live reply is
+// never discarded just because a previous operation's leftovers arrive
+// with it).
 type gateway struct {
 	proto.Recorder
-	out chan gatewayMsg
+	deliver func(from ident.ProcessID, m msg.Msg)
 }
 
 func (g *gateway) ID() ident.ProcessID   { return clientID }
 func (g *gateway) Start() []proto.Output { return nil }
 func (g *gateway) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
-	switch m.(type) {
-	case msg.Decide, msg.CnfRep:
-		select {
-		case g.out <- gatewayMsg{from: from, m: m}:
-		default: // client not listening: drop (stale notifications)
-		}
-	}
+	g.deliver(from, m)
 	return nil
+}
+
+// chanetSender adapts the in-process network to the pipeline.
+type chanetSender struct{ net *chanet.Net }
+
+func (s chanetSender) Send(to ident.ProcessID, m msg.Msg) {
+	s.net.Inject(clientID, to, m)
 }
 
 // Service is a live Byzantine-tolerant replicated state machine for
 // commutative updates (§7): a cluster of GWTS replicas on a concurrent
-// in-process network plus a blocking client implementing Algorithms 5
-// and 6. All methods are safe for concurrent use; operations serialize
-// client-side (one in flight), matching the sequential client of the
-// paper.
+// in-process network fronted by a batching, pipelining client gateway
+// (internal/batch). All methods are safe for concurrent use from many
+// goroutines; concurrent operations are coalesced into joint lattice
+// proposals (GLA decides joins, so batching is semantically free) and
+// several proposals are kept in flight, while each individual call
+// retains the blocking Algorithm 5/6 semantics of the paper's client.
 type Service struct {
-	cfg   ServiceConfig
-	net   *chanet.Net
-	gw    *gateway
-	mu    sync.Mutex
-	seq   int
-	state lattice.Set // last confirmed read state (cached)
+	cfg  ServiceConfig
+	net  *chanet.Net
+	gw   *gateway
+	pipe *batch.Pipeline
+	seq  atomic.Int64
 }
 
 // NewService builds and starts the cluster.
@@ -90,7 +104,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	for _, i := range cfg.MuteReplicas {
 		mute.Add(ident.ProcessID(i))
 	}
-	gw := &gateway{out: make(chan gatewayMsg, 65536)}
+	gw := &gateway{}
 	machines := []proto.Machine{gw}
 	for i := 0; i < cfg.Replicas; i++ {
 		id := ident.ProcessID(i)
@@ -108,12 +122,38 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		machines = append(machines, r)
 	}
 	net := chanet.New(machines, chanet.Options{MaxJitter: cfg.Jitter, Seed: cfg.Seed})
+
+	// Trigger new_value at f+1 correct replicas: mute ones would relay
+	// nothing, so target the first f+1 non-mute (correct replicas relay
+	// through agreement and all eventually decide either way).
+	var submitTo []ident.ProcessID
+	for i := 0; i < cfg.Replicas && len(submitTo) < core.ReadQuorum(cfg.Faulty); i++ {
+		if id := ident.ProcessID(i); !mute.Has(id) {
+			submitTo = append(submitTo, id)
+		}
+	}
+	pipe, err := batch.New(batch.Config{
+		Client:      clientID,
+		Replicas:    ident.Range(cfg.Replicas),
+		SubmitTo:    submitTo,
+		F:           cfg.Faulty,
+		MaxBatch:    cfg.MaxBatch,
+		MaxDelay:    cfg.MaxBatchDelay,
+		MaxInFlight: cfg.MaxInFlight,
+		QueueDepth:  cfg.QueueDepth,
+		OpTimeout:   cfg.OpTimeout,
+	}, chanetSender{net: net})
+	if err != nil {
+		return nil, err
+	}
+	gw.deliver = pipe.Deliver
 	net.Start()
-	return &Service{cfg: cfg, net: net, gw: gw}, nil
+	return &Service{cfg: cfg, net: net, gw: gw, pipe: pipe}, nil
 }
 
-// Close shuts the cluster down.
+// Close shuts the cluster down; blocked callers return an error.
 func (s *Service) Close() {
+	s.pipe.Close()
 	s.net.Stop()
 }
 
@@ -121,109 +161,50 @@ func (s *Service) Close() {
 // returns once the command is durably decided (Algorithm 5). The body
 // is made unique automatically (client identity + sequence number).
 func (s *Service) Update(body string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.seq++
-	cmd := lattice.Item{Author: clientID, Body: fmt.Sprintf("%s\x00%d", body, s.seq)}
-	_, err := s.runOp(cmd, false)
-	return err
+	return s.UpdateCtx(context.Background(), body)
+}
+
+// UpdateCtx is Update with caller-controlled cancellation: it returns
+// early (without waiting out OpTimeout) when ctx is cancelled while the
+// operation is queued or in flight.
+func (s *Service) UpdateCtx(ctx context.Context, body string) error {
+	cmd := rsm.UniqueCmd(clientID, int(s.seq.Add(1)), body)
+	return s.pipe.Update(ctx, cmd)
 }
 
 // Read returns the current confirmed state of the RSM as command items
 // (read markers stripped), per Algorithm 6. Bodies keep the uniqueness
 // suffix added by Update; the CRDT views parse through it.
 func (s *Service) Read() ([]Item, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.seq++
-	nop := rsm.NopCmd(clientID, s.seq)
-	v, err := s.runOp(nop, true)
+	return s.ReadCtx(context.Background())
+}
+
+// ReadCtx is Read with caller-controlled cancellation.
+func (s *Service) ReadCtx(ctx context.Context) ([]Item, error) {
+	v, err := s.pipe.Read(ctx)
 	if err != nil {
 		return nil, err
 	}
-	s.state = v
 	return fromLatticeSet(rsm.StripNops(v)), nil
 }
 
-// runOp executes one Alg 5/6 operation; the caller holds the lock.
-func (s *Service) runOp(cmd lattice.Item, confirm bool) (lattice.Set, error) {
-	// Drain stale notifications from previous ops.
-	for {
-		select {
-		case <-s.gw.out:
-			continue
-		default:
-		}
-		break
-	}
-	// Trigger new_value at f+1 replicas. Mute replicas may be among
-	// them; correct ones relay through agreement either way, and all
-	// replicas eventually decide, so target the first f+1 non-mute.
-	targets := 0
-	mute := ident.NewSet()
-	for _, i := range s.cfg.MuteReplicas {
-		mute.Add(ident.ProcessID(i))
-	}
-	for i := 0; i < s.cfg.Replicas && targets < core.ReadQuorum(s.cfg.Faulty); i++ {
-		id := ident.ProcessID(i)
-		if mute.Has(id) {
-			continue
-		}
-		s.net.Inject(clientID, id, msg.NewValue{Cmd: cmd})
-		targets++
-	}
-	deadline := time.NewTimer(s.cfg.OpTimeout)
-	defer deadline.Stop()
+// BatchStats reports pipeline activity: how many operations ran, how
+// many lattice proposals (flights) carried them, and the resulting
+// amortization (AvgBatch > 1 means agreement rounds were shared).
+type BatchStats struct {
+	Ops, Updates, Reads uint64
+	Flights             uint64
+	MaxBatchOps         int
+	Timeouts            uint64
+	AvgBatch            float64
+}
 
-	need := core.ReadQuorum(s.cfg.Faulty)
-	deciders := ident.NewSet()
-	candidates := map[string]lattice.Set{}
-	confirmers := map[string]*ident.Set{}
-	confirming := false
-	for {
-		select {
-		case gm := <-s.gw.out:
-			switch v := gm.m.(type) {
-			case msg.Decide:
-				if confirming || !v.Value.Contains(cmd) {
-					continue
-				}
-				deciders.Add(gm.from)
-				if _, ok := candidates[v.Value.Key()]; !ok {
-					candidates[v.Value.Key()] = v.Value
-				}
-				if deciders.Len() < need {
-					continue
-				}
-				if !confirm {
-					return lattice.Empty(), nil // update complete
-				}
-				confirming = true
-				for _, val := range candidates {
-					for i := 0; i < s.cfg.Replicas; i++ {
-						s.net.Inject(clientID, ident.ProcessID(i), msg.CnfReq{Value: val})
-					}
-				}
-			case msg.CnfRep:
-				if !confirming {
-					continue
-				}
-				key := v.Value.Key()
-				if _, ok := candidates[key]; !ok {
-					continue
-				}
-				set := confirmers[key]
-				if set == nil {
-					set = ident.NewSet()
-					confirmers[key] = set
-				}
-				set.Add(gm.from)
-				if set.Len() >= need {
-					return v.Value, nil
-				}
-			}
-		case <-deadline.C:
-			return lattice.Empty(), errors.New("bgla: operation timed out")
-		}
+// BatchStats snapshots the batching pipeline's counters.
+func (s *Service) BatchStats() BatchStats {
+	st := s.pipe.Stats()
+	return BatchStats{
+		Ops: st.Ops, Updates: st.Updates, Reads: st.Reads,
+		Flights: st.Flights, MaxBatchOps: st.MaxBatchOps,
+		Timeouts: st.Timeouts, AvgBatch: st.AvgBatch(),
 	}
 }

@@ -1,0 +1,122 @@
+package bgla
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServiceConcurrentStress drives many goroutines of mixed
+// Update/Read traffic against a cluster that includes a mute Byzantine
+// replica, under the race detector, and checks the linearizability
+// guarantees of §7 on the observed reads:
+//
+//   - reads are totally ordered: every pair of read states is
+//     comparable (one is a subset of the other), across all goroutines;
+//   - reads are monotone per caller: a later read never observes fewer
+//     commands than an earlier one by the same goroutine;
+//   - updates are visible: the final read reflects every completed
+//     increment.
+func TestServiceConcurrentStress(t *testing.T) {
+	const (
+		workers      = 8
+		opsPerWorker = 12
+	)
+	svc, err := NewService(ServiceConfig{
+		Replicas: 4, Faulty: 1,
+		MuteReplicas: []int{3},
+		Jitter:       200 * time.Microsecond,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	type readObs struct {
+		worker int
+		items  map[string]bool
+	}
+	var (
+		mu    sync.Mutex
+		reads []readObs
+	)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prevLen := -1
+			for k := 0; k < opsPerWorker; k++ {
+				if k%3 == 2 {
+					state, err := svc.Read()
+					if err != nil {
+						errs <- fmt.Errorf("worker %d read %d: %w", w, k, err)
+						return
+					}
+					items := make(map[string]bool, len(state))
+					for _, it := range state {
+						items[it.Body] = true
+					}
+					if len(items) < prevLen {
+						errs <- fmt.Errorf("worker %d read %d shrank: %d < %d", w, k, len(items), prevLen)
+						return
+					}
+					prevLen = len(items)
+					mu.Lock()
+					reads = append(reads, readObs{worker: w, items: items})
+					mu.Unlock()
+					continue
+				}
+				if err := svc.Update(IncCmd(1)); err != nil {
+					errs <- fmt.Errorf("worker %d update %d: %w", w, k, err)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Total order on reads: sorted by size, each state must contain its
+	// predecessor (two incomparable reads would violate Theorem 6).
+	sort.Slice(reads, func(i, j int) bool { return len(reads[i].items) < len(reads[j].items) })
+	for i := 1; i < len(reads); i++ {
+		small, big := reads[i-1], reads[i]
+		for body := range small.items {
+			if !big.items[body] {
+				t.Fatalf("incomparable reads: worker %d's %d-item state misses %q seen by worker %d",
+					big.worker, len(big.items), body, small.worker)
+			}
+		}
+	}
+
+	// Update visibility: every completed increment is in the final read.
+	updates := workers * opsPerWorker
+	for w := 0; w < workers; w++ {
+		updates -= opsPerWorker / 3
+	}
+	state, err := svc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CounterView(state); got != int64(updates) {
+		t.Fatalf("final counter = %d, want %d", got, updates)
+	}
+
+	st := svc.BatchStats()
+	if st.Ops == 0 || st.Flights == 0 {
+		t.Fatalf("pipeline unused: %+v", st)
+	}
+	t.Logf("pipeline: %d ops over %d flights (avg batch %.2f, max %d)",
+		st.Ops, st.Flights, st.AvgBatch, st.MaxBatchOps)
+}

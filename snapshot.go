@@ -1,6 +1,7 @@
 package bgla
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -37,20 +38,32 @@ func NewSnapshot(cfg ServiceConfig) (*Snapshot, error) {
 func (s *Snapshot) Close() { s.svc.Close() }
 
 // Update writes value into the named component and returns once the
-// write is durably decided.
+// write is durably decided. Safe for concurrent use: concurrent writers
+// ride the Service's batching pipeline, so k concurrent Updates cost
+// ~one agreement round, not k.
 func (s *Snapshot) Update(component, value string) error {
+	return s.UpdateCtx(context.Background(), component, value)
+}
+
+// UpdateCtx is Update with caller-controlled cancellation.
+func (s *Snapshot) UpdateCtx(ctx context.Context, component, value string) error {
 	s.mu.Lock()
 	s.stamp++
 	st := s.stamp
 	s.seq[component] = st
 	s.mu.Unlock()
-	return s.svc.Update(PutCmd(component, st, value))
+	return s.svc.UpdateCtx(ctx, PutCmd(component, st, value))
 }
 
 // Scan returns a consistent snapshot of all components. Two scans are
 // always comparable: one reflects a superset of the writes of the other.
 func (s *Snapshot) Scan() (map[string]string, error) {
-	state, err := s.svc.Read()
+	return s.ScanCtx(context.Background())
+}
+
+// ScanCtx is Scan with caller-controlled cancellation.
+func (s *Snapshot) ScanCtx(ctx context.Context) (map[string]string, error) {
+	state, err := s.svc.ReadCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
