@@ -2,13 +2,14 @@
 // EXPERIMENTS.md: the Figure 1 chain, the Theorem 1 resilience attack,
 // the latency and message-complexity bounds of WTS/GWTS/SbS/GSbS, the
 // RSM linearizability workload, the crash-stop baseline comparison, the
-// defense ablations and the live batched-vs-unbatched throughput
-// benchmark (E15), whose structured report is written to
-// BENCH_batch.json so the performance trajectory is tracked across PRs.
+// defense ablations, the live batched-vs-unbatched throughput benchmark
+// (E15) and the digest/delta wire-codec benchmark (E16). The structured
+// E15/E16 reports are written to BENCH_batch.json and BENCH_wire.json
+// so the performance trajectory is tracked across PRs.
 //
 // Usage:
 //
-//	bglabench [-quick] [-only E4,E8] [-batchout BENCH_batch.json]
+//	bglabench [-quick] [-only E4,E8] [-batchout BENCH_batch.json] [-wireout BENCH_wire.json]
 package main
 
 import (
@@ -24,6 +25,7 @@ func main() {
 	quick := flag.Bool("quick", false, "trimmed parameter sweeps (fast)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E2,E8)")
 	batchOut := flag.String("batchout", "BENCH_batch.json", "path for the E15 throughput report (empty disables)")
+	wireOut := flag.String("wireout", "BENCH_wire.json", "path for the E16 wire-codec report (empty disables)")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -61,6 +63,24 @@ func main() {
 					failed++
 				} else {
 					fmt.Printf("wrote %s (best batched speedup: %.2fx)\n", *batchOut, rep.BestSpeedup)
+				}
+			}
+		}
+	}
+	if selected("E16") {
+		rep, err := exp.WireDeltaReport(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bglabench: E16: %v\n", err)
+			failed++
+		} else {
+			show(rep.Table())
+			if *wireOut != "" {
+				if err := os.WriteFile(*wireOut, rep.JSON(), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "bglabench: writing %s: %v\n", *wireOut, err)
+					failed++
+				} else {
+					fmt.Printf("wrote %s (best reduction: %.1fx bytes/op, %.1fx identity checks)\n",
+						*wireOut, rep.BestBytesReduction, rep.BestKeyReduction)
 				}
 			}
 		}

@@ -5,6 +5,16 @@
 // concurrent updates into shared lattice proposals: the pipeline stats
 // printed at the end show many operations riding far fewer agreement
 // rounds.
+//
+// A note on the delta wire codec (DESIGN.md §4): clients see no API
+// change from it. Update/Read semantics, blocking behaviour and the
+// values returned are identical — the codec only changes how replica
+// notifications and acks are framed between TCP nodes (content-digest
+// base references plus delta items instead of full history-sized
+// sets), with an automatic full-set fallback when a receiver lacks the
+// referenced base. This in-process example never serializes at all;
+// over TCP (cmd/bglarsm) the same client code simply ships far fewer
+// bytes per operation as the decided history grows.
 package main
 
 import (

@@ -170,9 +170,9 @@ type flight struct {
 	reads   []*request
 	phase   flightPhase
 
-	deciders   *ident.Set             // distinct replicas deciding ⊇ items
-	candidates map[string]lattice.Set // decide values seen (key -> value)
-	confirmers map[string]*ident.Set  // per-candidate confirmation quorums
+	deciders   *ident.Set                     // distinct replicas deciding ⊇ items
+	candidates map[lattice.Digest]lattice.Set // decide values seen (digest -> value)
+	confirmers map[lattice.Digest]*ident.Set  // per-candidate confirmation quorums
 	timer      *time.Timer
 }
 
@@ -373,8 +373,8 @@ func (p *Pipeline) drainInto(batch []*request) []*request {
 func (p *Pipeline) launch(batch []*request) {
 	f := &flight{
 		deciders:   ident.NewSet(),
-		candidates: map[string]lattice.Set{},
-		confirmers: map[string]*ident.Set{},
+		candidates: map[lattice.Digest]lattice.Set{},
+		confirmers: map[lattice.Digest]*ident.Set{},
 	}
 	p.mu.Lock()
 	p.seq++
@@ -472,8 +472,9 @@ func (p *Pipeline) onDecide(f *flight, from ident.ProcessID, d msg.Decide) {
 		return
 	}
 	f.deciders.Add(from)
-	if _, ok := f.candidates[d.Value.Key()]; !ok {
-		f.candidates[d.Value.Key()] = d.Value
+	dig := d.Value.Digest()
+	if _, ok := f.candidates[dig]; !ok {
+		f.candidates[dig] = d.Value
 	}
 	if f.deciders.Len() < core.ReadQuorum(p.cfg.F) {
 		return
@@ -501,14 +502,14 @@ func (p *Pipeline) onCnfRep(f *flight, from ident.ProcessID, rep msg.CnfRep) {
 	if f.phase != phaseConfirm {
 		return
 	}
-	key := rep.Value.Key()
-	if _, ok := f.candidates[key]; !ok {
+	dig := rep.Value.Digest()
+	if _, ok := f.candidates[dig]; !ok {
 		return // not a value this flight asked about
 	}
-	set := f.confirmers[key]
+	set := f.confirmers[dig]
 	if set == nil {
 		set = ident.NewSet()
-		f.confirmers[key] = set
+		f.confirmers[dig] = set
 	}
 	set.Add(from)
 	if set.Len() < core.ReadQuorum(p.cfg.F) {

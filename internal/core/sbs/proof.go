@@ -55,8 +55,13 @@ func (c *Crypto) verifyMemo(p ident.ProcessID, data, sigBytes []byte) bool {
 	return v
 }
 
+// Signature preimages commit to the value's content digest instead of
+// its full canonical byte string, making signing and verification O(1)
+// in the set size; the domain tags are versioned (/v2) so the digest
+// preimages can never collide with signatures produced under the
+// original full-serialization format.
 func valueBytes(author ident.ProcessID, round int, v lattice.Set) []byte {
-	return []byte(fmt.Sprintf("bgla/sbs/value|%d|%d|%s", author, round, v.Key()))
+	return []byte(fmt.Sprintf("bgla/sbs/value/v2|%d|%d|%s", author, round, v.Digest().Hex()))
 }
 
 // SignValue produces the proposer's signed value (Alg 8 line 9).
@@ -84,7 +89,7 @@ func (c *Crypto) VerifyConfPair(p msg.ConflictPair) bool {
 
 func safeAckBytes(signer ident.ProcessID, round int, keys []string, conflicts []msg.ConflictPair) []byte {
 	var b strings.Builder
-	fmt.Fprintf(&b, "bgla/sbs/safeack|%d|%d|", signer, round)
+	fmt.Fprintf(&b, "bgla/sbs/safeack/v2|%d|%d|", signer, round)
 	for _, k := range keys {
 		b.WriteString(k)
 		b.WriteByte('\n')
@@ -125,7 +130,7 @@ func (c *Crypto) VerifySafeAck(sa msg.SafeAck) bool {
 }
 
 func signedAckBytes(signer ident.ProcessID, dest ident.ProcessID, ts uint32, round int, v lattice.Set) []byte {
-	return []byte(fmt.Sprintf("bgla/sbs/ack|%d|%d|%d|%d|%s", signer, dest, ts, round, v.Key()))
+	return []byte(fmt.Sprintf("bgla/sbs/ack/v2|%d|%d|%d|%d|%s", signer, dest, ts, round, v.Digest().Hex()))
 }
 
 // SignAck produces the §8.2 point-to-point signed ack.

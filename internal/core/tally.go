@@ -9,16 +9,18 @@ import (
 
 // AckKey identifies an ack tuple <Accepted_set, destination, ts, round>;
 // tallies count distinct senders per tuple (GWTS Alg 3 line 37, Alg 4
-// line 17, RSM plug-in Alg 7 line 4).
+// line 17, RSM plug-in Alg 7 line 4). The set is identified by its
+// content digest, so inserting and counting is O(1) in the set size
+// instead of rebuilding an O(total-bytes) canonical string per message.
 type AckKey struct {
-	SetKey string
-	Dest   ident.ProcessID
-	TS     uint32
-	Round  int
+	Dig   lattice.Digest
+	Dest  ident.ProcessID
+	TS    uint32
+	Round int
 }
 
 func (k AckKey) String() string {
-	return fmt.Sprintf("r%d/ts%d/dest%v/%s", k.Round, k.TS, k.Dest, k.SetKey)
+	return fmt.Sprintf("r%d/ts%d/dest%v/%s", k.Round, k.TS, k.Dest, k.Dig.Hex())
 }
 
 // AckTally counts distinct ack senders per tuple and remembers the
@@ -40,7 +42,7 @@ func NewAckTally() *AckTally {
 // of distinct senders so far (duplicates from the same sender are
 // counted once).
 func (t *AckTally) Add(sender ident.ProcessID, accepted lattice.Set, dest ident.ProcessID, ts uint32, round int) int {
-	k := AckKey{SetKey: accepted.Key(), Dest: dest, TS: ts, Round: round}
+	k := AckKey{Dig: accepted.Digest(), Dest: dest, TS: ts, Round: round}
 	set := t.senders[k]
 	if set == nil {
 		set = ident.NewSet()
@@ -53,7 +55,7 @@ func (t *AckTally) Add(sender ident.ProcessID, accepted lattice.Set, dest ident.
 
 // Count returns the distinct-sender count of a tuple.
 func (t *AckTally) Count(accepted lattice.Set, dest ident.ProcessID, ts uint32, round int) int {
-	k := AckKey{SetKey: accepted.Key(), Dest: dest, TS: ts, Round: round}
+	k := AckKey{Dig: accepted.Digest(), Dest: dest, TS: ts, Round: round}
 	if s := t.senders[k]; s != nil {
 		return s.Len()
 	}
@@ -80,14 +82,14 @@ func (t *AckTally) AtQuorum(round, quorum int) []QuorumEntry {
 	return out
 }
 
-// AnyQuorumValue reports whether the given value (matched by canonical
-// key, any dest/ts) reached quorum in any round; used by the RSM read
+// AnyQuorumValue reports whether the given value (matched by content
+// digest, any dest/ts) reached quorum in any round; used by the RSM read
 // confirmation (Alg 7 line 4: "< ·, Accepted_set, ·, ·, timestamp, r >
 // appears ⌊(n+f)/2⌋+1 times in Ack_history").
 func (t *AckTally) AnyQuorumValue(value lattice.Set, quorum int) bool {
-	want := value.Key()
+	want := value.Digest()
 	for k, s := range t.senders {
-		if k.SetKey == want && s.Len() >= quorum {
+		if k.Dig == want && s.Len() >= quorum {
 			return true
 		}
 	}

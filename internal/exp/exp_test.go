@@ -64,6 +64,26 @@ func TestE15BatchThroughput(t *testing.T) {
 	}
 }
 
+func TestE16WireDelta(t *testing.T) {
+	rep, err := WireDeltaReport(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.JSON()) == 0 {
+		t.Fatal("empty JSON report")
+	}
+	requirePass(t, rep.Table())
+	for _, row := range rep.Rows {
+		if row.FallbackResends == 0 {
+			t.Fatalf("history %d: full-set fallback never exercised", row.History)
+		}
+	}
+	if rep.BestBytesReduction < 5 || rep.BestKeyReduction < 5 {
+		t.Fatalf("reductions too small: bytes %.1fx key %.1fx",
+			rep.BestBytesReduction, rep.BestKeyReduction)
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tbl := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}, Pass: true}
 	tbl.AddRow(1, 2.5)
@@ -90,14 +110,14 @@ func TestPluralAndItoa(t *testing.T) {
 }
 
 // TestAllAggregatesEveryExperiment exercises the cmd/bglabench entry
-// point: all fifteen tables, trimmed sweeps, every one passing.
+// point: all sixteen tables, trimmed sweeps, every one passing.
 func TestAllAggregatesEveryExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("aggregate sweep")
 	}
 	tables := All(true)
-	if len(tables) != 15 {
-		t.Fatalf("All returned %d tables, want 15", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("All returned %d tables, want 16", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tbl := range tables {
@@ -116,7 +136,7 @@ func TestAllAggregatesEveryExperiment(t *testing.T) {
 			t.Errorf("%s is empty", tbl.ID)
 		}
 	}
-	for i := 1; i <= 15; i++ {
+	for i := 1; i <= 16; i++ {
 		id := "E" + itoa(i)
 		if !seen[id] {
 			t.Errorf("experiment %s missing from All", id)

@@ -88,12 +88,13 @@ func (t *Table) Render() string {
 // sweeps for fast regression runs (tests); full sweeps feed
 // EXPERIMENTS.md.
 func All(quick bool) []*Table {
-	return append(AllBase(quick), BatchThroughput(quick))
+	return append(AllBase(quick), BatchThroughput(quick), WireDelta(quick))
 }
 
 // AllBase returns the deterministic-simulator experiments (E1-E14);
-// the live batching benchmark E15 is separate so cmd/bglabench can
-// capture its structured report for BENCH_batch.json.
+// the live benchmarks E15 (batching) and E16 (delta wire codec) are
+// separate so cmd/bglabench can capture their structured reports for
+// BENCH_batch.json and BENCH_wire.json.
 func AllBase(quick bool) []*Table {
 	return []*Table{
 		FigureChain(),

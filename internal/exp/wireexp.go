@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+)
+
+// WireBenchRow measures one decided-history size: the bytes one
+// operation costs on the wire (full JSON envelope vs delta frame) and
+// the cost of one set-identity check (the seed's O(total-bytes)
+// canonical string vs the cached digest).
+type WireBenchRow struct {
+	History int `json:"history"`
+	Ops     int `json:"ops"`
+	// Wire bytes per operation for the same message stream.
+	FullBytesPerOp  float64 `json:"full_bytes_per_op"`
+	DeltaBytesPerOp float64 `json:"delta_bytes_per_op"`
+	BytesReduction  float64 `json:"bytes_reduction"`
+	// Identity-check nanoseconds per call.
+	LegacyKeyNS  float64 `json:"legacy_key_ns"`
+	DigestKeyNS  float64 `json:"digest_key_ns"`
+	KeyReduction float64 `json:"key_reduction"`
+	// FallbackResends counts full-set retransmissions triggered by the
+	// unknown-base nack injected mid-stream (must be >= 1: the fallback
+	// path is exercised, not just claimed).
+	FallbackResends int `json:"fallback_resends"`
+}
+
+// WireBenchReport aggregates E16; cmd/bglabench serializes it to
+// BENCH_wire.json so the flat-cost claim is tracked across PRs.
+type WireBenchReport struct {
+	Experiment string         `json:"experiment"`
+	Rows       []WireBenchRow `json:"rows"`
+	// Pass5x requires >= 5x reduction in both wire bytes per op and
+	// identity-check cost at every history size >= 1000.
+	Pass5x             bool    `json:"pass_5x"`
+	BestBytesReduction float64 `json:"best_bytes_reduction"`
+	BestKeyReduction   float64 `json:"best_key_reduction"`
+}
+
+// JSON renders the report (indented, trailing newline).
+func (r *WireBenchReport) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // static struct: cannot fail
+	}
+	return append(out, '\n')
+}
+
+// legacyKey reproduces the seed's Set.Key(): the O(total-bytes)
+// canonical string the stack used to rebuild per identity check.
+func legacyKey(s lattice.Set) string {
+	var b strings.Builder
+	for _, it := range s.Items() {
+		b.WriteString(strconv.Itoa(int(it.Author)))
+		b.WriteByte('#')
+		b.WriteString(strconv.Itoa(len(it.Body)))
+		b.WriteByte(':')
+		b.WriteString(it.Body)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// keySink defeats dead-code elimination in the timing loops.
+var keySink int
+
+// measureNS times f adaptively until the sample is long enough to
+// trust, returning nanoseconds per call.
+func measureNS(f func()) float64 {
+	for n := 1; ; n *= 4 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		if el := time.Since(start); el > 2*time.Millisecond {
+			return float64(el.Nanoseconds()) / float64(n)
+		}
+	}
+}
+
+// runWireConfig replays an RSM-style stream against one pre-grown
+// decided history: each operation appends one command and ships the
+// resulting Accepted_set in an ack, exactly the per-message shape that
+// was O(history) in the seed. Every delta frame is decoded back and
+// checked against the original message, and one receiver state loss is
+// injected mid-stream to drive the nack -> full-retransmission path.
+func runWireConfig(history, ops int) (WireBenchRow, error) {
+	row := WireBenchRow{History: history, Ops: ops}
+	items := make([]lattice.Item, history)
+	for i := range items {
+		items[i] = lattice.Item{Author: ident.ProcessID(i % 7), Body: fmt.Sprintf("cmd-%06d\x00%d", i, i)}
+	}
+	cur := lattice.FromItems(items...)
+
+	enc, dec := msg.NewDeltaEncoder(), msg.NewDeltaDecoder()
+	// Warm-up: the history itself was transmitted during normal
+	// operation, establishing the shared base (not billed to any op).
+	frame, err := enc.Encode(msg.Decide{Value: cur, Round: 0})
+	if err != nil {
+		return row, err
+	}
+	if _, nack, err := dec.Decode(frame); err != nil || nack != nil {
+		return row, fmt.Errorf("warm-up decode: nack=%v err=%v", nack, err)
+	}
+
+	var fullBytes, deltaBytes int
+	for k := 0; k < ops; k++ {
+		cur = cur.Union(lattice.Singleton(lattice.Item{Author: 9, Body: fmt.Sprintf("op-%d", k)}))
+		m := msg.Ack{Accepted: cur, TS: uint32(k), Round: 1}
+		full, err := msg.Encode(m)
+		if err != nil {
+			return row, err
+		}
+		fullBytes += len(full)
+		if frame, err = enc.Encode(m); err != nil {
+			return row, err
+		}
+		deltaBytes += len(frame)
+		if k == ops/2 {
+			dec.Reset() // receiver restart: the frame below must nack
+		}
+		got, nack, err := dec.Decode(frame)
+		if err != nil {
+			return row, err
+		}
+		if nack != nil {
+			// Full-set fallback: the retained message is re-encoded
+			// (anchor-free, hence full) and billed to the stream.
+			retained, served := enc.HandleNack(*nack)
+			if !served {
+				return row, fmt.Errorf("fallback: frame %d not retained", nack.Seq)
+			}
+			if frame, err = enc.Encode(retained); err != nil {
+				return row, err
+			}
+			deltaBytes += len(frame)
+			row.FallbackResends++
+			if got, nack, err = dec.Decode(frame); err != nil || nack != nil {
+				return row, fmt.Errorf("fallback decode: nack=%v err=%v", nack, err)
+			}
+		}
+		if msg.KeyOf(got) != msg.KeyOf(m) {
+			return row, fmt.Errorf("op %d: codec changed the message", k)
+		}
+	}
+	if row.FallbackResends == 0 {
+		return row, fmt.Errorf("fallback path never exercised")
+	}
+	row.FullBytesPerOp = float64(fullBytes) / float64(ops)
+	row.DeltaBytesPerOp = float64(deltaBytes) / float64(ops)
+	row.BytesReduction = row.FullBytesPerOp / row.DeltaBytesPerOp
+
+	row.LegacyKeyNS = measureNS(func() { keySink += len(legacyKey(cur)) })
+	row.DigestKeyNS = measureNS(func() { keySink += len(cur.Key()) })
+	row.KeyReduction = row.LegacyKeyNS / row.DigestKeyNS
+	return row, nil
+}
+
+// WireDeltaReport (E16) measures how per-operation wire bytes and
+// identity-check cost behave as the decided history grows: linear in
+// the seed, ~O(delta) with the digest + delta substrate.
+func WireDeltaReport(quick bool) (*WireBenchReport, error) {
+	histories := []int{250, 1000, 4000}
+	ops := 64
+	if quick {
+		histories = []int{250, 1000}
+		ops = 32
+	}
+	rep := &WireBenchReport{
+		Experiment: "digest + delta wire codec vs full-set transmission",
+		Pass5x:     true,
+	}
+	for _, h := range histories {
+		row, err := runWireConfig(h, ops)
+		if err != nil {
+			return nil, fmt.Errorf("history %d: %w", h, err)
+		}
+		if h >= 1000 && (row.BytesReduction < 5 || row.KeyReduction < 5) {
+			rep.Pass5x = false
+		}
+		if row.BytesReduction > rep.BestBytesReduction {
+			rep.BestBytesReduction = row.BytesReduction
+		}
+		if row.KeyReduction > rep.BestKeyReduction {
+			rep.BestKeyReduction = row.KeyReduction
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// Table renders the report as the E16 experiment table.
+func (r *WireBenchReport) Table() *Table {
+	t := &Table{
+		ID:      "E16",
+		Title:   "digest + delta wire codec — per-op cost vs decided history",
+		Columns: []string{"history", "ops", "full B/op", "delta B/op", "bytes x", "legacy key ns", "digest key ns", "key x", "fallbacks"},
+		Pass:    r.Pass5x,
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.History, row.Ops, row.FullBytesPerOp, row.DeltaBytesPerOp,
+			row.BytesReduction, row.LegacyKeyNS, row.DigestKeyNS, row.KeyReduction,
+			row.FallbackResends)
+	}
+	t.Note("each op appends one command and ships Accepted_set; full = seed JSON envelope, delta = digest-based frames")
+	t.Note("one receiver state loss is injected per stream: fallbacks counts the resulting full-set retransmissions")
+	t.Note("pass requires >= 5x reduction in bytes/op and key cost at history >= 1000")
+	return t
+}
+
+// WireDelta (E16) is the Table-producing wrapper used by All.
+func WireDelta(quick bool) *Table {
+	rep, err := WireDeltaReport(quick)
+	if err != nil {
+		t := &Table{
+			ID:      "E16",
+			Title:   "digest + delta wire codec — per-op cost vs decided history",
+			Columns: []string{"error"},
+		}
+		t.AddRow(err.Error())
+		return t
+	}
+	return rep.Table()
+}

@@ -1,0 +1,85 @@
+package lattice
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Digest is the 32-byte content address of a Set. It is an incremental
+// multiset accumulator in the LtHash style: each item is hashed once
+// with SHA-256 under a domain-separated, length-prefixed framing, and
+// the set digest is the lane-wise sum (four little-endian uint64 lanes,
+// each mod 2^64) of the item hashes. Summation makes the digest
+// order-independent and *incrementally maintainable*: joining a delta
+// of d new items into a set of n items costs O(d) hash work, not O(n),
+// which is what keeps per-operation identity cost flat as Accepted_set
+// grows with history.
+//
+// Two distinct sets map to distinct digests under the usual
+// collision-resistance assumption for additive SHA-256 accumulators
+// (the same class of assumption the paper already makes for its
+// signatures; a production deployment would widen the accumulator state
+// à la LtHash-2048). Everything that previously keyed maps or signature
+// preimages by the O(total-bytes) canonical string now keys by Digest.
+type Digest [32]byte
+
+// EmptyDigest is the digest of ⊥ (the zero accumulator).
+var EmptyDigest Digest
+
+// add folds one item hash into the accumulator (lane-wise sum).
+func (d *Digest) add(h [32]byte) {
+	for i := 0; i < len(d); i += 8 {
+		lane := binary.LittleEndian.Uint64(d[i:]) + binary.LittleEndian.Uint64(h[i:])
+		binary.LittleEndian.PutUint64(d[i:], lane)
+	}
+}
+
+// Hex renders the digest as 64 lowercase hex characters.
+func (d Digest) Hex() string { return hex.EncodeToString(d[:]) }
+
+// Short renders the first 8 hex characters (log/event labels).
+func (d Digest) Short() string { return hex.EncodeToString(d[:4]) }
+
+// String implements fmt.Stringer.
+func (d Digest) String() string { return d.Hex() }
+
+// ParseDigest decodes the Hex form.
+func ParseDigest(s string) (Digest, error) {
+	var d Digest
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return Digest{}, fmt.Errorf("lattice: bad digest %q: %w", s, err)
+	}
+	if len(raw) != len(d) {
+		return Digest{}, fmt.Errorf("lattice: digest %q has %d bytes, want %d", s, len(raw), len(d))
+	}
+	copy(d[:], raw)
+	return d, nil
+}
+
+// itemHash hashes one item with domain separation; the author and body
+// are length-delimited so no two items share a preimage.
+func itemHash(it Item) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	h.Write([]byte("bgla/item/v1|"))
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(it.Author)))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(it.Body)))
+	h.Write(buf[:])
+	h.Write([]byte(it.Body))
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// digestOf accumulates a digest over a sorted, duplicate-free slice.
+func digestOf(items []Item) Digest {
+	var d Digest
+	for _, it := range items {
+		d.add(itemHash(it))
+	}
+	return d
+}

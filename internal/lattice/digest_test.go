@@ -1,0 +1,145 @@
+package lattice
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigestOrderIndependent(t *testing.T) {
+	a := FromItems(it(0, "a"), it(1, "b"), it(2, "c"))
+	b := FromItems(it(2, "c"), it(0, "a"), it(1, "b"))
+	if a.Digest() != b.Digest() {
+		t.Fatal("digest must not depend on construction order")
+	}
+	if a.Digest() == Empty().Digest() {
+		t.Fatal("nonempty set must not share ⊥'s digest")
+	}
+	if Empty().Digest() != EmptyDigest {
+		t.Fatal("⊥ must have the zero digest")
+	}
+}
+
+// TestQuickIncrementalDigestMatchesRecompute is the core soundness
+// property of the accumulator: the digest maintained incrementally
+// through arbitrary Union chains equals the digest recomputed from
+// scratch over the final item slice.
+func TestQuickIncrementalDigestMatchesRecompute(t *testing.T) {
+	f := func(x, y, z []byte) bool {
+		u := randomSet(x).Union(randomSet(y)).Union(randomSet(z))
+		return u.Digest() == digestOf(u.Items()) && u.Digest() == FromItems(u.Items()...).Digest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeltaRoundTrip: ApplyDelta(base, Delta(s, base)) == s for
+// every base ⊆ s, and Delta refuses non-subset bases.
+func TestQuickDeltaRoundTrip(t *testing.T) {
+	f := func(x, y []byte) bool {
+		base := randomSet(x)
+		s := base.Union(randomSet(y)) // base ⊆ s by construction
+		items, baseDig, ok := s.Delta(base)
+		if !ok || baseDig != base.Digest() {
+			return false
+		}
+		if len(items) != s.Len()-base.Len() {
+			return false
+		}
+		return ApplyDelta(base, items).Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	g := func(x, y []byte) bool {
+		a, b := randomSet(x), randomSet(y)
+		if a.SubsetOf(b) {
+			return true // only the refusal path is under test here
+		}
+		_, _, ok := b.Delta(a)
+		return !ok
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEqualMatchesItemwise guards the O(1) digest Equal against
+// the naive itemwise definition.
+func TestQuickEqualMatchesItemwise(t *testing.T) {
+	f := func(x, y []byte) bool {
+		a, b := randomSet(x), randomSet(y)
+		naive := len(a.Items()) == len(b.Items())
+		if naive {
+			for i := range a.Items() {
+				if a.Items()[i] != b.Items()[i] {
+					naive = false
+					break
+				}
+			}
+		}
+		return a.Equal(b) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDigestRoundTrip(t *testing.T) {
+	d := FromItems(it(3, "xyz")).Digest()
+	got, err := ParseDigest(d.Hex())
+	if err != nil || got != d {
+		t.Fatalf("ParseDigest(%s) = %v, %v", d.Hex(), got, err)
+	}
+	if _, err := ParseDigest("zz"); err == nil {
+		t.Fatal("ParseDigest must reject non-hex")
+	}
+	if _, err := ParseDigest("abcd"); err == nil {
+		t.Fatal("ParseDigest must reject short input")
+	}
+	if len(d.Hex()) != 64 || len(d.Short()) != 8 {
+		t.Fatalf("Hex/Short lengths wrong: %d/%d", len(d.Hex()), len(d.Short()))
+	}
+}
+
+func TestJSONPreservesDigest(t *testing.T) {
+	s := FromItems(it(0, "a"), it(7, "b;#:"), it(3, ""))
+	raw, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := back.UnmarshalJSON(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) || back.Digest() != s.Digest() {
+		t.Fatalf("JSON round trip changed identity: %v vs %v", back, s)
+	}
+}
+
+func BenchmarkKeyDigest(b *testing.B) {
+	items := make([]Item, 2000)
+	for i := range items {
+		items[i] = it(i%7, "command-body-"+string(rune('a'+i%26))+strconv.Itoa(i))
+	}
+	s := FromItems(items...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Key()
+	}
+}
+
+func BenchmarkUnionSingleItemDelta(b *testing.B) {
+	items := make([]Item, 2000)
+	for i := range items {
+		items[i] = it(i%7, "command-body-"+strconv.Itoa(i))
+	}
+	s := FromItems(items...)
+	nv := Singleton(it(9, "new-command"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Union(nv)
+	}
+}

@@ -8,7 +8,6 @@ package lattice
 
 import (
 	"sort"
-	"strconv"
 	"strings"
 
 	"bgla/internal/ident"
@@ -39,15 +38,25 @@ func (a Item) String() string { return a.Author.String() + ":" + a.Body }
 // duplicate-free collection of Items. The zero value is the bottom
 // element ⊥ (the empty set). All operations return new Sets; callers
 // may freely share Set values across goroutines.
+//
+// Every Set carries its content Digest, computed at construction and
+// maintained incrementally by Union (joining d new items costs O(d)
+// hash work), so identity operations — Key, Equal, map lookups, wire
+// base references — are O(1) regardless of how large the set has grown.
 type Set struct {
 	items []Item // sorted by Item.Less, no duplicates
+	dig   Digest // accumulator over items; zero for ⊥
 }
 
 // Empty returns ⊥.
 func Empty() Set { return Set{} }
 
 // Singleton returns {it}.
-func Singleton(it Item) Set { return Set{items: []Item{it}} }
+func Singleton(it Item) Set {
+	var d Digest
+	d.add(itemHash(it))
+	return Set{items: []Item{it}, dig: d}
+}
 
 // FromItems builds a Set from arbitrary items (deduplicated, sorted).
 func FromItems(items ...Item) Set {
@@ -63,7 +72,7 @@ func FromItems(items ...Item) Set {
 			out = append(out, it)
 		}
 	}
-	return Set{items: out}
+	return Set{items: out, dig: digestOf(out)}
 }
 
 // FromStrings builds a Set of items authored by author, one per body.
@@ -107,6 +116,10 @@ func (s Set) Union(t Set) Set {
 		return t
 	}
 	out := make([]Item, 0, len(s.items)+len(t.items))
+	// The digest is maintained incrementally: start from s's accumulator
+	// and fold in only the items t contributes, so the hash work of a
+	// join is proportional to the delta, not to the merged size.
+	dig := s.dig
 	i, j := 0, 0
 	for i < len(s.items) && j < len(t.items) {
 		a, b := s.items[i], t.items[j]
@@ -120,18 +133,25 @@ func (s Set) Union(t Set) Set {
 			i++
 		default:
 			out = append(out, b)
+			dig.add(itemHash(b))
 			j++
 		}
 	}
 	out = append(out, s.items[i:]...)
-	out = append(out, t.items[j:]...)
-	return Set{items: out}
+	for _, b := range t.items[j:] {
+		out = append(out, b)
+		dig.add(itemHash(b))
+	}
+	return Set{items: out, dig: dig}
 }
 
 // SubsetOf reports s ⊆ t, i.e. s ≤ t in the lattice order.
 func (s Set) SubsetOf(t Set) bool {
 	if len(s.items) > len(t.items) {
 		return false
+	}
+	if len(s.items) == len(t.items) {
+		return s.dig == t.dig // equal-size subset ⇔ equality: O(1)
 	}
 	i, j := 0, 0
 	for i < len(s.items) {
@@ -152,17 +172,11 @@ func (s Set) SubsetOf(t Set) bool {
 	return true
 }
 
-// Equal reports s == t.
+// Equal reports s == t in O(1) by comparing cached digests (plus the
+// length as a belt-and-braces guard); see Digest for the
+// collision-resistance assumption this rests on.
 func (s Set) Equal(t Set) bool {
-	if len(s.items) != len(t.items) {
-		return false
-	}
-	for i := range s.items {
-		if s.items[i] != t.items[i] {
-			return false
-		}
-	}
-	return true
+	return len(s.items) == len(t.items) && s.dig == t.dig
 }
 
 // Comparable reports s ≤ t ∨ t ≤ s (the Comparability predicate of the
@@ -171,33 +185,58 @@ func (s Set) Comparable(t Set) bool {
 	return s.SubsetOf(t) || t.SubsetOf(s)
 }
 
-// Minus returns the items of s not in t (diagnostic helper; set
+// Minus returns the items of s not in t (a single merge pass; set
 // difference is not a lattice operation and is never used by protocols
-// to shrink proposals).
+// to shrink proposals — it feeds diagnostics and delta encoding).
 func (s Set) Minus(t Set) []Item {
 	var out []Item
-	for _, it := range s.items {
-		if !t.Contains(it) {
-			out = append(out, it)
+	i, j := 0, 0
+	for i < len(s.items) {
+		if j >= len(t.items) {
+			out = append(out, s.items[i:]...)
+			break
+		}
+		a, b := s.items[i], t.items[j]
+		switch {
+		case a == b:
+			i++
+			j++
+		case a.Less(b):
+			out = append(out, a)
+			i++
+		default:
+			j++
 		}
 	}
 	return out
 }
 
+// Digest returns the cached content digest of the set (O(1)).
+func (s Set) Digest() Digest { return s.dig }
+
 // Key returns a canonical string key for use in maps (e.g. counting how
-// many acceptors acknowledged an identical Accepted_set in GWTS).
-// Distinct sets have distinct keys.
-func (s Set) Key() string {
-	var b strings.Builder
-	for _, it := range s.items {
-		b.WriteString(strconv.Itoa(int(it.Author)))
-		b.WriteByte('#')
-		b.WriteString(strconv.Itoa(len(it.Body)))
-		b.WriteByte(':')
-		b.WriteString(it.Body)
-		b.WriteByte(';')
+// many acceptors acknowledged an identical Accepted_set in GWTS): the
+// raw bytes of the cached digest. O(1) — distinct sets have distinct
+// keys under the Digest collision-resistance assumption.
+func (s Set) Key() string { return string(s.dig[:]) }
+
+// Delta computes the delta encoding of s against base: the items of s
+// missing from base, plus base's digest as the reference the receiver
+// must resolve. Delta encoding is only sound when base ⊆ s (values are
+// monotone joins, so in steady state every retransmitted set extends an
+// earlier one); ok reports that, and callers must fall back to full
+// transmission when it is false.
+func (s Set) Delta(base Set) (items []Item, baseDigest Digest, ok bool) {
+	if !base.SubsetOf(s) {
+		return nil, Digest{}, false
 	}
-	return b.String()
+	return s.Minus(base), base.dig, true
+}
+
+// ApplyDelta reconstructs base ⊕ items, the inverse of Delta: for any
+// base ⊆ s, ApplyDelta(base, Delta-items) == s.
+func ApplyDelta(base Set, items []Item) Set {
+	return base.Union(FromItems(items...))
 }
 
 // String renders "{p0:a, p1:b}".

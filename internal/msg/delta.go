@@ -1,0 +1,369 @@
+package msg
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"bgla/internal/lattice"
+)
+
+// This file implements the delta-aware wire codec. Lattice values are
+// monotone joins of known components (Accepted_set and Decided_set only
+// ever grow), so once a peer has seen a set, every later set extending
+// it can travel as (base digest, delta items) instead of the full
+// O(history) item list. The codec is transparent to the protocol
+// machines: DeltaEncoder rewrites a message's dominant lattice set into
+// a delta frame against a per-peer cache of recently transmitted sets,
+// and DeltaDecoder reconstructs the original typed message on the far
+// side. When the receiver cannot resolve a base digest (restart,
+// eviction, divergence) it answers with a DeltaNack and the sender
+// automatically retransmits that frame with the full set — the plain
+// JSON Envelope remains the fallback encoding throughout, and peers
+// that never emit delta frames interoperate unchanged.
+
+// Delta codec wire kinds.
+const (
+	// KindDeltaFrame wraps an inner envelope whose primary lattice set
+	// travels delta- or full-encoded alongside it.
+	KindDeltaFrame Kind = "delta.frame"
+	// KindDeltaNack is the transport-level "unknown base" reply that
+	// triggers the full-set fallback for one frame.
+	KindDeltaNack Kind = "delta.nack"
+)
+
+// DeltaNack asks the sender to retransmit frame Seq with the full set:
+// the receiver could not reconstruct it (base digest unknown or the
+// reconstruction's digest diverged from the declared one).
+type DeltaNack struct {
+	Seq uint64 `json:"seq"`
+}
+
+// Kind implements Msg.
+func (DeltaNack) Kind() Kind { return KindDeltaNack }
+
+// deltaFrameWire is the JSON body of a KindDeltaFrame envelope.
+type deltaFrameWire struct {
+	// Seq identifies the frame for DeltaNack retransmission.
+	Seq uint64 `json:"seq"`
+	// Inner is the message with its primary set stripped to ⊥.
+	Inner Envelope `json:"inner"`
+	// Base is the hex digest of the assumed base set; empty means Items
+	// carries the full set.
+	Base string `json:"base,omitempty"`
+	// Items carries the delta (or full) items in canonical order.
+	Items lattice.Set `json:"items"`
+	// Dig is the hex digest of the complete reconstructed set, checked
+	// after ApplyDelta and used as the receiver-side cache key.
+	Dig string `json:"dig"`
+}
+
+// PrimarySet extracts the dominant lattice set of a message — the one
+// that grows with history and is worth delta-encoding. RBC wrappers
+// recurse into their payload (GWTS acceptor acks travel inside Bracha
+// echo storms, which is where full-set retransmission hurt most).
+func PrimarySet(m Msg) (lattice.Set, bool) {
+	switch v := m.(type) {
+	case Disclosure:
+		return v.Value, true
+	case AckReq:
+		return v.Proposed, true
+	case Ack:
+		return v.Accepted, true
+	case Nack:
+		return v.Accepted, true
+	case AckB:
+		return v.Accepted, true
+	case Decide:
+		return v.Value, true
+	case CnfReq:
+		return v.Value, true
+	case CnfRep:
+		return v.Value, true
+	case SignedAck:
+		return v.Accepted, true
+	case DecidedCert:
+		return v.Value, true
+	case RBCSend:
+		return PrimarySet(v.Payload)
+	case RBCEcho:
+		return PrimarySet(v.Payload)
+	case RBCReady:
+		return PrimarySet(v.Payload)
+	default:
+		return lattice.Set{}, false
+	}
+}
+
+// WithPrimarySet returns a copy of m with its primary set replaced; it
+// is the inverse of stripping the set into a delta frame's sidecar.
+func WithPrimarySet(m Msg, s lattice.Set) Msg {
+	switch v := m.(type) {
+	case Disclosure:
+		v.Value = s
+		return v
+	case AckReq:
+		v.Proposed = s
+		return v
+	case Ack:
+		v.Accepted = s
+		return v
+	case Nack:
+		v.Accepted = s
+		return v
+	case AckB:
+		v.Accepted = s
+		return v
+	case Decide:
+		v.Value = s
+		return v
+	case CnfReq:
+		v.Value = s
+		return v
+	case CnfRep:
+		v.Value = s
+		return v
+	case SignedAck:
+		v.Accepted = s
+		return v
+	case DecidedCert:
+		v.Value = s
+		return v
+	case RBCSend:
+		v.Payload = WithPrimarySet(v.Payload, s)
+		return v
+	case RBCEcho:
+		v.Payload = WithPrimarySet(v.Payload, s)
+		return v
+	case RBCReady:
+		v.Payload = WithPrimarySet(v.Payload, s)
+		return v
+	default:
+		return m
+	}
+}
+
+// Codec capacity bounds (per peer). Anchors are candidate delta bases
+// kept on the sender; recent frames are retained for DeltaNack
+// retransmission; the decoder cache holds reconstructed sets. recent
+// must only cover the frames that can still be in flight when a nack
+// arrives: the decoder cache (maxDecodeCache sets) dwarfs the anchor
+// ring (maxAnchors), so in-protocol nacks are essentially impossible
+// and the retransmission buffer is a restart-robustness net, not a hot
+// path — keeping it small bounds the history-sized sets it pins.
+const (
+	maxAnchors     = 4
+	maxRecent      = 128
+	maxDecodeCache = 64
+)
+
+// DeltaEncoder is the sending half of the codec for one peer. It is
+// safe for concurrent use, but the base-chain on the wire is only
+// coherent when Encode calls happen in transmission order — encode
+// frames where writes are serialized (tcpnet encodes in the per-peer
+// send loop, immediately before each write).
+type DeltaEncoder struct {
+	mu      sync.Mutex
+	seq     uint64
+	anchors []lattice.Set // newest first, candidate delta bases
+	recent  map[uint64]Msg
+	order   []uint64 // FIFO over recent
+}
+
+// NewDeltaEncoder returns an encoder with an empty base cache.
+func NewDeltaEncoder() *DeltaEncoder {
+	return &DeltaEncoder{recent: make(map[uint64]Msg)}
+}
+
+// Reset forgets every anchor, forcing full transmission until a new
+// base chain is established. The transport calls it on every (re)dial:
+// frames encoded after a reconnect are then self-contained, so a
+// restarted receiver is never left waiting on bases it missed.
+func (e *DeltaEncoder) Reset() {
+	e.mu.Lock()
+	e.anchors = nil
+	e.mu.Unlock()
+}
+
+// Encode serializes m for the peer, delta-encoding its primary set when
+// a cached base allows it. Messages without a primary set use the plain
+// JSON envelope.
+func (e *DeltaEncoder) Encode(m Msg) ([]byte, error) {
+	set, ok := PrimarySet(m)
+	if !ok {
+		return Encode(m)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	inner, err := ToEnvelope(WithPrimarySet(m, lattice.Empty()))
+	if err != nil {
+		return nil, err
+	}
+	e.seq++
+	w := deltaFrameWire{
+		Seq:   e.seq,
+		Inner: inner,
+		Items: set,
+		Dig:   set.Digest().Hex(),
+	}
+	if base, ok := e.bestBaseLocked(set); ok {
+		// base ⊆ set was just established; Minus is the Delta items.
+		w.Base = base.Digest().Hex()
+		w.Items = lattice.FromItems(set.Minus(base)...)
+		// Only delta frames can be nacked (full frames are
+		// self-contained), so only they occupy retransmission slots.
+		e.rememberLocked(w.Seq, m)
+	}
+	e.pushAnchorLocked(set)
+	body, err := json.Marshal(w)
+	if err != nil {
+		return nil, fmt.Errorf("msg: delta frame of %s: %w", m.Kind(), err)
+	}
+	return json.Marshal(Envelope{K: KindDeltaFrame, B: body})
+}
+
+// HandleNack surrenders the nacked frame's message for retransmission,
+// reporting whether it was still retained. The anchor cache is dropped
+// — the receiver evidently cannot resolve our bases — so re-encoding
+// the returned message (and everything after it) starts a fresh,
+// self-contained base chain.
+func (e *DeltaEncoder) HandleNack(nk DeltaNack) (Msg, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, ok := e.recent[nk.Seq]
+	if !ok {
+		return nil, false
+	}
+	delete(e.recent, nk.Seq)
+	e.anchors = nil
+	return m, true
+}
+
+// bestBaseLocked picks the largest cached anchor that is a subset of
+// set (a valid delta base); empty anchors are never worth referencing.
+func (e *DeltaEncoder) bestBaseLocked(set lattice.Set) (lattice.Set, bool) {
+	best, found := lattice.Set{}, false
+	for _, a := range e.anchors {
+		if !a.IsEmpty() && a.SubsetOf(set) && (!found || a.Len() > best.Len()) {
+			best, found = a, true
+		}
+	}
+	return best, found
+}
+
+func (e *DeltaEncoder) pushAnchorLocked(set lattice.Set) {
+	if set.IsEmpty() {
+		return // bestBaseLocked never uses ⊥; don't waste a slot on it
+	}
+	for i, a := range e.anchors {
+		if a.Digest() == set.Digest() {
+			// Refresh recency instead of duplicating.
+			copy(e.anchors[1:i+1], e.anchors[:i])
+			e.anchors[0] = set
+			return
+		}
+	}
+	e.anchors = append([]lattice.Set{set}, e.anchors...)
+	if len(e.anchors) > maxAnchors {
+		e.anchors = e.anchors[:maxAnchors]
+	}
+}
+
+func (e *DeltaEncoder) rememberLocked(seq uint64, m Msg) {
+	e.recent[seq] = m
+	e.order = append(e.order, seq)
+	for len(e.order) > maxRecent {
+		delete(e.recent, e.order[0])
+		e.order = e.order[1:]
+	}
+}
+
+// DeltaDecoder is the receiving half of the codec for one peer: a
+// bounded cache of reconstructed sets keyed by digest. Safe for
+// concurrent use (a peer may hold several inbound connections).
+type DeltaDecoder struct {
+	mu    sync.Mutex
+	cache map[lattice.Digest]lattice.Set
+	order []lattice.Digest
+}
+
+// NewDeltaDecoder returns a decoder with an empty base cache.
+func NewDeltaDecoder() *DeltaDecoder {
+	return &DeltaDecoder{cache: make(map[lattice.Digest]lattice.Set)}
+}
+
+// Reset drops every cached base, as a decoder restart would; frames
+// referencing forgotten bases fall back via DeltaNack.
+func (d *DeltaDecoder) Reset() {
+	d.mu.Lock()
+	d.cache = make(map[lattice.Digest]lattice.Set)
+	d.order = nil
+	d.mu.Unlock()
+}
+
+// Decode parses wire bytes from the peer. Plain envelopes decode as
+// before (the fallback path). For delta frames it reconstructs the
+// primary set from the cached base; when the base is unknown or the
+// reconstruction's digest diverges it returns (nil, nack, nil) and the
+// caller must transmit the nack back to the sender, which replies with
+// a full-set retransmission of the same frame.
+func (d *DeltaDecoder) Decode(data []byte) (Msg, *DeltaNack, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, nil, fmt.Errorf("msg: envelope: %w", err)
+	}
+	if env.K != KindDeltaFrame {
+		m, err := FromEnvelope(env)
+		return m, nil, err
+	}
+	var w deltaFrameWire
+	if err := json.Unmarshal(env.B, &w); err != nil {
+		return nil, nil, fmt.Errorf("msg: delta frame: %w", err)
+	}
+	inner, err := FromEnvelope(w.Inner)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, ok := PrimarySet(inner); !ok {
+		return nil, nil, fmt.Errorf("msg: delta frame around %s, which carries no set", inner.Kind())
+	}
+	set := w.Items
+	if w.Base != "" {
+		baseDig, err := lattice.ParseDigest(w.Base)
+		if err != nil {
+			return nil, nil, err
+		}
+		want, err := lattice.ParseDigest(w.Dig)
+		if err != nil {
+			return nil, nil, err
+		}
+		d.mu.Lock()
+		base, ok := d.cache[baseDig]
+		d.mu.Unlock()
+		if !ok {
+			return nil, &DeltaNack{Seq: w.Seq}, nil
+		}
+		set = lattice.ApplyDelta(base, w.Items.Items())
+		if set.Digest() != want {
+			// Divergent reconstruction: ask for the full set rather than
+			// deliver a value the sender did not mean.
+			return nil, &DeltaNack{Seq: w.Seq}, nil
+		}
+	}
+	d.remember(set)
+	return WithPrimarySet(inner, set), nil, nil
+}
+
+func (d *DeltaDecoder) remember(set lattice.Set) {
+	dig := set.Digest()
+	d.mu.Lock()
+	if _, dup := d.cache[dig]; !dup {
+		d.cache[dig] = set
+		d.order = append(d.order, dig)
+		for len(d.order) > maxDecodeCache {
+			delete(d.cache, d.order[0])
+			d.order = d.order[1:]
+		}
+	}
+	d.mu.Unlock()
+}

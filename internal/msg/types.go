@@ -191,10 +191,13 @@ type SignedValue struct {
 }
 
 // ValueKey is the canonical identity of the signed value (author, round
-// and element); safe_acks commit to lists of these keys so proofs of
-// safety stay verifiable by third parties without echoing whole sets.
+// and the element's content digest); safe_acks commit to lists of these
+// keys so proofs of safety stay verifiable by third parties without
+// echoing whole sets. Since the v2 preimage format the element is
+// identified by its 32-byte digest, so building a key is O(1) in the
+// set size.
 func (sv SignedValue) ValueKey() string {
-	return fmt.Sprintf("%d|%d|%s", sv.Author, sv.Round, sv.Value.Key())
+	return fmt.Sprintf("%d|%d|%s", sv.Author, sv.Round, sv.Value.Digest().Hex())
 }
 
 // ConflictPair records two conflicting signed values (same author,

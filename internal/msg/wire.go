@@ -140,6 +140,10 @@ func FromEnvelope(env Envelope) (Msg, error) {
 		return decodeBody[Wakeup](env)
 	case KindJunk:
 		return decodeBody[Junk](env)
+	case KindDeltaNack:
+		return decodeBody[DeltaNack](env)
+	case KindDeltaFrame:
+		return nil, fmt.Errorf("msg: delta frames require a stateful DeltaDecoder")
 	default:
 		return nil, fmt.Errorf("msg: unknown kind %q", env.K)
 	}

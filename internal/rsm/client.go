@@ -63,9 +63,11 @@ type Client struct {
 	// Update/read wait state: distinct replicas whose decide included
 	// the current command, per Alg 5 line 4 / Alg 6 line 6.
 	deciders *ident.Set
-	// Candidate decision values (key -> value) for the read confirmation.
-	candidates map[string]lattice.Set
-	confirmers map[string]*ident.Set
+	// Candidate decision values (digest -> value) for the read
+	// confirmation; content addressing keeps per-notification work O(1)
+	// in the decided set's size.
+	candidates map[lattice.Digest]lattice.Set
+	confirmers map[lattice.Digest]*ident.Set
 	confirmed  bool
 
 	results []OpResult
@@ -120,8 +122,8 @@ func (c *Client) startNext() []proto.Output {
 	c.seq++
 	c.current = op
 	c.deciders.Clear()
-	c.candidates = make(map[string]lattice.Set)
-	c.confirmers = make(map[string]*ident.Set)
+	c.candidates = make(map[lattice.Digest]lattice.Set)
+	c.confirmers = make(map[lattice.Digest]*ident.Set)
 	c.confirmed = false
 	kind := "update"
 	if op.Kind == OpRead {
@@ -179,9 +181,9 @@ func (c *Client) onDecide(from ident.ProcessID, d msg.Decide) []proto.Output {
 		return nil
 	}
 	c.deciders.Add(from)
-	key := d.Value.Key()
-	if _, ok := c.candidates[key]; !ok {
-		c.candidates[key] = d.Value
+	dig := d.Value.Digest()
+	if _, ok := c.candidates[dig]; !ok {
+		c.candidates[dig] = d.Value
 	}
 	if c.deciders.Len() < core.ReadQuorum(c.cfg.F) {
 		return nil
@@ -203,20 +205,22 @@ func (c *Client) onDecide(from ident.ProcessID, d msg.Decide) []proto.Output {
 }
 
 func (c *Client) sortedCandidates() []lattice.Set {
-	keys := make([]string, 0, len(c.candidates))
-	for k := range c.candidates {
-		keys = append(keys, k)
+	out := make([]lattice.Set, 0, len(c.candidates))
+	for _, v := range c.candidates {
+		out = append(out, v)
 	}
-	// Deterministic order: smaller values first so the returned read is
-	// the earliest confirmed state.
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
+	// Deterministic order: smaller values first (ties broken by digest)
+	// so the returned read is the earliest confirmed state.
+	less := func(a, b lattice.Set) bool {
+		if a.Len() != b.Len() {
+			return a.Len() < b.Len()
 		}
+		return a.Key() < b.Key()
 	}
-	out := make([]lattice.Set, len(keys))
-	for i, k := range keys {
-		out[i] = c.candidates[k]
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
 	}
 	return out
 }
@@ -227,14 +231,14 @@ func (c *Client) onCnfRep(from ident.ProcessID, rep msg.CnfRep) []proto.Output {
 	if c.phase != phaseAwaitConfirm || c.confirmed || !c.isReplica(from) {
 		return nil
 	}
-	key := rep.Value.Key()
-	if _, ok := c.candidates[key]; !ok {
+	dig := rep.Value.Digest()
+	if _, ok := c.candidates[dig]; !ok {
 		return nil // not a value we asked about
 	}
-	set := c.confirmers[key]
+	set := c.confirmers[dig]
 	if set == nil {
 		set = ident.NewSet()
-		c.confirmers[key] = set
+		c.confirmers[dig] = set
 	}
 	set.Add(from)
 	if set.Len() < core.ReadQuorum(c.cfg.F) {

@@ -1,8 +1,14 @@
 // Package tcpnet deploys protocol machines over TCP: length-prefixed
-// JSON envelopes on a full mesh of loopback (or LAN) connections, with
+// frames on a full mesh of loopback (or LAN) connections, with
 // Ed25519-authenticated connection handshakes implementing the paper's
 // authenticated-link assumption — a connection only delivers messages
 // attributed to an identity that proved itself at hello time.
+//
+// Frames carrying history-sized lattice sets use the delta codec of
+// internal/msg (per-peer digest-addressed base caches, DeltaNack-driven
+// full-set fallback); everything else travels as plain JSON envelopes,
+// which also remain the interop fallback (PlainCodec disables delta
+// framing entirely).
 package tcpnet
 
 import (
@@ -51,6 +57,12 @@ type Config struct {
 	DialRetry time.Duration
 	// EventBuffer sizes the event channel (default 4096).
 	EventBuffer int
+	// PlainCodec disables delta framing on the send side: every
+	// outgoing message travels as a plain JSON envelope. Receiving
+	// stays codec-aware either way, so a PlainCodec node still decodes
+	// delta frames from delta-enabled peers; for a wire with no delta
+	// frames at all (pre-delta interop), every node must set it.
+	PlainCodec bool
 }
 
 // Node is one deployed process.
@@ -65,12 +77,18 @@ type Node struct {
 	stopped atomic.Bool
 
 	sendQ map[ident.ProcessID]*sendQueue
+	enc   map[ident.ProcessID]*msg.DeltaEncoder
 	wg    sync.WaitGroup
+
+	decMu sync.Mutex
+	dec   map[ident.ProcessID]*msg.DeltaDecoder
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
 	rejectedHellos atomic.Int64
+	deltaNacksSent atomic.Int64
+	deltaResends   atomic.Int64
 }
 
 type inboundMsg struct {
@@ -78,10 +96,13 @@ type inboundMsg struct {
 	m    msg.Msg
 }
 
+// sendQueue holds typed messages: frames are encoded by the send loop
+// immediately before each write, so the delta codec's base chain always
+// matches what actually went out on the current connection.
 type sendQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  [][]byte
+	queue  []msg.Msg
 	closed bool
 }
 
@@ -91,16 +112,16 @@ func newSendQueue() *sendQueue {
 	return q
 }
 
-func (q *sendQueue) put(frame []byte) {
+func (q *sendQueue) put(m msg.Msg) {
 	q.mu.Lock()
 	if !q.closed {
-		q.queue = append(q.queue, frame)
+		q.queue = append(q.queue, m)
 		q.cond.Signal()
 	}
 	q.mu.Unlock()
 }
 
-func (q *sendQueue) take() ([]byte, bool) {
+func (q *sendQueue) take() (msg.Msg, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.queue) == 0 && !q.closed {
@@ -142,14 +163,38 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg:    cfg,
 		events: make(chan proto.Event, cfg.EventBuffer),
 		sendQ:  make(map[ident.ProcessID]*sendQueue, len(cfg.Peers)),
+		enc:    make(map[ident.ProcessID]*msg.DeltaEncoder, len(cfg.Peers)),
+		dec:    make(map[ident.ProcessID]*msg.DeltaDecoder),
 		conns:  make(map[net.Conn]struct{}),
 	}
 	n.cond = sync.NewCond(&n.mu)
 	for p := range cfg.Peers {
 		n.sendQ[p] = newSendQueue()
+		n.enc[p] = msg.NewDeltaEncoder()
 	}
 	return n, nil
 }
+
+// decoderFor returns (lazily creating) the delta decoder of a peer; the
+// decoder outlives individual connections, so reconnecting peers keep
+// their established base chains.
+func (n *Node) decoderFor(peer ident.ProcessID) *msg.DeltaDecoder {
+	n.decMu.Lock()
+	defer n.decMu.Unlock()
+	d := n.dec[peer]
+	if d == nil {
+		d = msg.NewDeltaDecoder()
+		n.dec[peer] = d
+	}
+	return d
+}
+
+// DeltaNacksSent counts unknown-base nacks this node issued; along with
+// DeltaResends it makes the full-set fallback path observable.
+func (n *Node) DeltaNacksSent() int64 { return n.deltaNacksSent.Load() }
+
+// DeltaResends counts full-set retransmissions served to nacking peers.
+func (n *Node) DeltaResends() int64 { return n.deltaResends.Load() }
 
 // Events returns the machine's event stream.
 func (n *Node) Events() <-chan proto.Event { return n.events }
@@ -289,19 +334,17 @@ func (n *Node) Send(to ident.ProcessID, m msg.Msg) {
 }
 
 func (n *Node) sendTo(to ident.ProcessID, m msg.Msg) {
-	q, ok := n.sendQ[to]
-	if !ok {
-		return
+	if q, ok := n.sendQ[to]; ok {
+		q.put(m)
 	}
-	frame, err := msg.Encode(m)
-	if err != nil {
-		return
-	}
-	q.put(frame)
 }
 
 // sendLoop maintains the outgoing connection to one peer, reconnecting
-// until Stop; queued frames survive reconnects.
+// until Stop; queued messages survive reconnects. Every (re)dial resets
+// the peer's delta encoder, so messages written to a fresh connection
+// start a self-contained base chain — a restarted receiver never waits
+// on bases it missed, and a frame re-sent after a write failure is
+// re-encoded against the reset state.
 func (n *Node) sendLoop(peer ident.ProcessID) {
 	defer n.wg.Done()
 	var conn net.Conn
@@ -314,17 +357,18 @@ func (n *Node) sendLoop(peer ident.ProcessID) {
 	}
 	defer drop()
 	q := n.sendQ[peer]
-	var pendingFrame []byte
+	enc := n.enc[peer]
+	var pending msg.Msg
 	for {
-		frame := pendingFrame
-		if frame == nil {
+		m := pending
+		if m == nil {
 			var ok bool
-			frame, ok = q.take()
+			m, ok = q.take()
 			if !ok {
 				return
 			}
 		}
-		pendingFrame = frame
+		pending = m
 		if conn == nil {
 			c, err := n.dialPeer(peer)
 			if err != nil {
@@ -335,15 +379,27 @@ func (n *Node) sendLoop(peer ident.ProcessID) {
 				continue
 			}
 			conn = c
+			enc.Reset()
+		}
+		var frame []byte
+		var err error
+		if n.cfg.PlainCodec {
+			frame, err = msg.Encode(m)
+		} else {
+			frame, err = enc.Encode(m)
+		}
+		if err != nil {
+			pending = nil // unmarshalable message: drop it
+			continue
 		}
 		if err := writeFrame(conn, frame); err != nil {
 			if n.stopped.Load() {
 				return
 			}
 			drop()
-			continue // retry same frame on a fresh connection
+			continue // retry same message on a fresh connection
 		}
-		pendingFrame = nil
+		pending = nil
 	}
 }
 
@@ -408,14 +464,34 @@ func (n *Node) readLoop(conn net.Conn) {
 		n.rejectedHellos.Add(1)
 		return
 	}
+	dec := n.decoderFor(h.From)
 	for {
 		frame, err := readFrame(conn)
 		if err != nil {
 			return
 		}
-		m, err := msg.Decode(frame)
+		m, nack, err := dec.Decode(frame)
+		if nack != nil {
+			// Unknown delta base: ask the sender for the full set.
+			n.deltaNacksSent.Add(1)
+			n.sendTo(h.From, *nack)
+			continue
+		}
 		if err != nil {
 			continue // malformed frame: drop, keep connection
+		}
+		if nk, ok := m.(msg.DeltaNack); ok {
+			// Transport-level: requeue the retained message instead of
+			// delivering the nack to the machine; the send loop
+			// re-encodes it against the post-nack (anchor-free) codec
+			// state, re-establishing a shared base chain.
+			if enc, okE := n.enc[h.From]; okE {
+				if retained, served := enc.HandleNack(nk); served {
+					n.sendTo(h.From, retained)
+					n.deltaResends.Add(1)
+				}
+			}
+			continue
 		}
 		n.enqueueInbound(h.From, m)
 	}

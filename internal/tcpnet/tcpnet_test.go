@@ -2,7 +2,9 @@ package tcpnet
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -183,5 +185,161 @@ func TestNewNodeValidation(t *testing.T) {
 	}
 	if _, err := NewNode(Config{Listener: l, Keychain: kc}); err == nil {
 		t.Fatal("must require machine")
+	}
+}
+
+// sinkMachine records every delivered message (test helper).
+type sinkMachine struct {
+	proto.Recorder
+	id ident.ProcessID
+
+	mu   sync.Mutex
+	msgs []msg.Msg
+}
+
+func (s *sinkMachine) ID() ident.ProcessID   { return s.id }
+func (s *sinkMachine) Start() []proto.Output { return nil }
+func (s *sinkMachine) Handle(_ ident.ProcessID, m msg.Msg) []proto.Output {
+	s.mu.Lock()
+	s.msgs = append(s.msgs, m)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *sinkMachine) received() []msg.Msg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]msg.Msg(nil), s.msgs...)
+}
+
+func launchPair(t *testing.T) (*Node, *Node, *sinkMachine) {
+	t.Helper()
+	kc := sig.NewEd25519(2, 7)
+	var listeners [2]net.Listener
+	addrs := map[ident.ProcessID]string{}
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[ident.ProcessID(i)] = l.Addr().String()
+	}
+	sink := &sinkMachine{id: 1}
+	a, err := NewNode(Config{
+		Self: 0, Listener: listeners[0], Peers: map[ident.ProcessID]string{1: addrs[1]},
+		Keychain: kc, Machine: &sinkMachine{id: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNode(Config{
+		Self: 1, Listener: listeners[1], Peers: map[ident.ProcessID]string{0: addrs[0]},
+		Keychain: kc, Machine: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	b.Start()
+	t.Cleanup(func() { a.Stop(); b.Stop() })
+	return a, b, sink
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDeltaFallbackOverTCP drives the unknown-base fallback end to end
+// over real connections: after the receiver loses its codec state (as a
+// restarted process would), the next delta frame is nacked, the sender
+// retransmits it with the full set, and the message is still delivered
+// with identical content.
+func TestDeltaFallbackOverTCP(t *testing.T) {
+	a, b, sink := launchPair(t)
+
+	items := make([]lattice.Item, 400)
+	for i := range items {
+		items[i] = lattice.Item{Author: 2, Body: fmt.Sprintf("cmd-%03d", i)}
+	}
+	s1 := lattice.FromItems(items...)
+	a.Send(1, msg.Ack{Accepted: s1, TS: 1})
+	waitFor(t, "first ack", func() bool { return len(sink.received()) >= 1 })
+
+	// Simulate a receiver restart: drop b's per-peer decoder state.
+	b.decoderFor(0).Reset()
+
+	s2 := s1.Union(lattice.FromItems(lattice.Item{Author: 3, Body: "late"}))
+	a.Send(1, msg.Ack{Accepted: s2, TS: 2})
+	waitFor(t, "fallback delivery", func() bool { return len(sink.received()) >= 2 })
+
+	got, ok := sink.received()[1].(msg.Ack)
+	if !ok || !got.Accepted.Equal(s2) || got.TS != 2 {
+		t.Fatalf("fallback delivered %#v", sink.received()[1])
+	}
+	if b.DeltaNacksSent() == 0 {
+		t.Fatal("receiver never nacked the unknown base")
+	}
+	waitFor(t, "resend counter", func() bool { return a.DeltaResends() >= 1 })
+
+	// The retransmission re-established the base chain: another delta
+	// frame delivers without further nacks.
+	nacks := b.DeltaNacksSent()
+	s3 := s2.Union(lattice.FromItems(lattice.Item{Author: 3, Body: "later"}))
+	a.Send(1, msg.Ack{Accepted: s3, TS: 3})
+	waitFor(t, "post-fallback delivery", func() bool { return len(sink.received()) >= 3 })
+	if got := sink.received()[2].(msg.Ack); !got.Accepted.Equal(s3) {
+		t.Fatalf("post-fallback delivered %v", got.Accepted)
+	}
+	if b.DeltaNacksSent() != nacks {
+		t.Fatal("delta frames kept nacking after the base was re-established")
+	}
+}
+
+// TestPlainCodecInterop pins the fallback encoding: a PlainCodec node
+// never emits delta frames yet interoperates with a delta-enabled peer.
+func TestPlainCodecInterop(t *testing.T) {
+	kc := sig.NewEd25519(2, 11)
+	var listeners [2]net.Listener
+	addrs := map[ident.ProcessID]string{}
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[ident.ProcessID(i)] = l.Addr().String()
+	}
+	sink := &sinkMachine{id: 1}
+	plain, err := NewNode(Config{
+		Self: 0, Listener: listeners[0], Peers: map[ident.ProcessID]string{1: addrs[1]},
+		Keychain: kc, Machine: &sinkMachine{id: 0}, PlainCodec: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := NewNode(Config{
+		Self: 1, Listener: listeners[1], Peers: map[ident.ProcessID]string{0: addrs[0]},
+		Keychain: kc, Machine: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Start()
+	delta.Start()
+	t.Cleanup(func() { plain.Stop(); delta.Stop() })
+
+	want := lattice.FromStrings(0, "a", "b", "c")
+	plain.Send(1, msg.Ack{Accepted: want, TS: 9})
+	waitFor(t, "plain->delta delivery", func() bool { return len(sink.received()) >= 1 })
+	if got := sink.received()[0].(msg.Ack); !got.Accepted.Equal(want) || got.TS != 9 {
+		t.Fatalf("plain interop delivered %#v", sink.received()[0])
 	}
 }
