@@ -102,6 +102,10 @@ func BenchmarkE15BatchThroughput(b *testing.B) {
 	benchTable(b, func() *exp.Table { return exp.BatchThroughput(true) }, "ops/sec", "ops/sec")
 }
 
+func BenchmarkE17ShardThroughput(b *testing.B) {
+	benchTable(b, func() *exp.Table { return exp.ShardThroughput(true) }, "ops/sec", "ops/sec")
+}
+
 // --- protocol micro-benchmarks -------------------------------------------
 
 func proposalsFor(n int) map[int][]string {

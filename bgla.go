@@ -11,8 +11,10 @@
 //     (message delays and message counts as defined in the paper);
 //   - Service deploys a live Byzantine-tolerant RSM on a concurrent
 //     in-process network with a blocking Update/Read client API;
+//   - Store shards that RSM into key-partitioned independent lattices
+//     with per-shard point operations and consistent cross-shard scans;
 //   - the crdt re-exports build counters, sets and maps on top of the
-//     Service (the paper's motivating use case).
+//     Service and Store (the paper's motivating use case).
 //
 // Protocol internals live under internal/: see DESIGN.md for the map.
 package bgla

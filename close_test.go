@@ -1,0 +1,65 @@
+package bgla
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServiceCloseIdempotent: Close must be callable any number of
+// times, from any number of goroutines — Store.Close fans out over
+// components whose owners may also Close them via defer.
+func TestServiceCloseIdempotent(t *testing.T) {
+	svc, err := NewService(ServiceConfig{Replicas: 4, Faulty: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	svc.Close() // double Close: must be a no-op, not a re-stop
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestServiceCloseDuringInFlightOps: concurrent Updates/Reads racing a
+// concurrent Close must each either complete or fail cleanly, and a
+// racing second Close must not panic or deadlock.
+func TestServiceCloseDuringInFlightOps(t *testing.T) {
+	svc, err := NewService(ServiceConfig{
+		Replicas: 4, Faulty: 1,
+		Jitter: 200 * time.Microsecond, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 40; k++ {
+				if w%2 == 0 {
+					_ = svc.Update(IncCmd(1))
+				} else {
+					_, _ = svc.Read()
+				}
+			}
+		}(w)
+	}
+	time.Sleep(time.Millisecond)
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc.Close()
+		}()
+	}
+	wg.Wait()
+	svc.Close()
+}

@@ -3,13 +3,14 @@
 // the latency and message-complexity bounds of WTS/GWTS/SbS/GSbS, the
 // RSM linearizability workload, the crash-stop baseline comparison, the
 // defense ablations, the live batched-vs-unbatched throughput benchmark
-// (E15) and the digest/delta wire-codec benchmark (E16). The structured
-// E15/E16 reports are written to BENCH_batch.json and BENCH_wire.json
-// so the performance trajectory is tracked across PRs.
+// (E15), the digest/delta wire-codec benchmark (E16) and the sharded
+// multi-lattice throughput benchmark (E17). The structured E15/E16/E17
+// reports are written to BENCH_batch.json, BENCH_wire.json and
+// BENCH_shard.json so the performance trajectory is tracked across PRs.
 //
 // Usage:
 //
-//	bglabench [-quick] [-only E4,E8] [-batchout BENCH_batch.json] [-wireout BENCH_wire.json]
+//	bglabench [-quick] [-only E4,E8] [-batchout BENCH_batch.json] [-wireout BENCH_wire.json] [-shardout BENCH_shard.json]
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E2,E8)")
 	batchOut := flag.String("batchout", "BENCH_batch.json", "path for the E15 throughput report (empty disables)")
 	wireOut := flag.String("wireout", "BENCH_wire.json", "path for the E16 wire-codec report (empty disables)")
+	shardOut := flag.String("shardout", "BENCH_shard.json", "path for the E17 sharded-store report (empty disables)")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -81,6 +83,24 @@ func main() {
 				} else {
 					fmt.Printf("wrote %s (best reduction: %.1fx bytes/op, %.1fx identity checks)\n",
 						*wireOut, rep.BestBytesReduction, rep.BestKeyReduction)
+				}
+			}
+		}
+	}
+	if selected("E17") {
+		rep, err := exp.ShardThroughputReport(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bglabench: E17: %v\n", err)
+			failed++
+		} else {
+			show(rep.Table())
+			if *shardOut != "" {
+				if err := os.WriteFile(*shardOut, rep.JSON(), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "bglabench: writing %s: %v\n", *shardOut, err)
+					failed++
+				} else {
+					fmt.Printf("wrote %s (speedup at 4 shards: %.2fx, best: %.2fx)\n",
+						*shardOut, rep.SpeedupAt4, rep.BestSpeedup)
 				}
 			}
 		}

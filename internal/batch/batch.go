@@ -71,6 +71,15 @@ type Config struct {
 	// MaxDelay bounds how long a forming batch lingers for co-batched
 	// operations once every flight slot is busy (default 200µs).
 	MaxDelay time.Duration
+	// MinBatch is the group-commit floor: a forming batch lingers (up
+	// to MaxDelay) until it has this many operations even while flight
+	// slots are free. An agreement round costs O(history) work whatever
+	// the batch carries, so under saturation a tiny "leading edge"
+	// flight launched into a free slot wastes a round that a floor
+	// would have filled. Raise toward MaxBatch on throughput-saturated
+	// deployments; the default 1 adds zero latency when idle (values
+	// above MaxBatch are clamped to it).
+	MinBatch int
 	// MaxInFlight bounds concurrently outstanding proposals (default 8).
 	MaxInFlight int
 	// QueueDepth bounds queued-but-unlaunched operations; enqueueing
@@ -97,6 +106,15 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.MaxDelay == 0 {
 		c.MaxDelay = 200 * time.Microsecond
+	}
+	if c.MinBatch == 0 {
+		c.MinBatch = 1
+	}
+	if c.MinBatch < 1 {
+		return fmt.Errorf("batch: MinBatch %d < 1", c.MinBatch)
+	}
+	if c.MinBatch > c.MaxBatch {
+		c.MinBatch = c.MaxBatch
 	}
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = 8
@@ -308,12 +326,30 @@ func (p *Pipeline) collect() {
 		}
 		batch := p.drainInto([]*request{first})
 		acquired := false
-		// Group-commit window: linger for co-batched operations only
+		// Group-commit window: linger for co-batched operations while
+		// the batch is below the MinBatch floor, and past the floor only
 		// while every flight slot is busy.
-		if len(batch) < p.cfg.MaxBatch && p.cfg.MaxDelay > 0 && len(p.tokens) == cap(p.tokens) {
+		if len(batch) < p.cfg.MaxBatch && p.cfg.MaxDelay > 0 &&
+			(len(batch) < p.cfg.MinBatch || len(p.tokens) == cap(p.tokens)) {
 			timer := time.NewTimer(p.cfg.MaxDelay)
 		window:
 			for len(batch) < p.cfg.MaxBatch {
+				if len(batch) < p.cfg.MinBatch {
+					// Below the floor: grow without competing for a
+					// slot, so a free slot cannot trigger an eager
+					// launch of a wastefully small proposal.
+					select {
+					case r := <-p.reqs:
+						batch = append(batch, r)
+					case <-timer.C:
+						break window
+					case <-p.closed:
+						timer.Stop()
+						completeReqs(batch, ErrClosed)
+						return
+					}
+					continue
+				}
 				select {
 				case r := <-p.reqs:
 					batch = append(batch, r)

@@ -30,11 +30,11 @@ const (
 )
 
 // AddCmd encodes a set-add command (G-Set / 2P-Set).
-func AddCmd(elem string) string { return tagAdd + "|" + elem }
+func AddCmd(elem string) string { return tagAdd + "|" + escape(elem) }
 
 // RemCmd encodes a set-remove command (2P-Set: remove wins, once
 // removed an element never returns).
-func RemCmd(elem string) string { return tagRem + "|" + elem }
+func RemCmd(elem string) string { return tagRem + "|" + escape(elem) }
 
 // IncCmd encodes a counter increment.
 func IncCmd(amount uint64) string { return tagInc + "|" + strconv.FormatUint(amount, 10) }
@@ -45,10 +45,35 @@ func DecCmd(amount uint64) string { return tagDec + "|" + strconv.FormatUint(amo
 // PutCmd encodes a last-writer-wins map write. Stamp orders writes;
 // ties break on the raw command body, which is unique per client.
 func PutCmd(key string, stamp uint64, value string) string {
-	return tagPut + "|" + strconv.FormatUint(stamp, 10) + "|" + escape(key) + "|" + value
+	return tagPut + "|" + strconv.FormatUint(stamp, 10) + "|" + escape(key) + "|" + escape(value)
 }
 
-func escape(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+// escape makes an arbitrary byte string safe to embed in a command
+// body: '|' (the field separator), '\' (the escape lead) and NUL (the
+// uniqueness-suffix delimiter stripUnique cuts at) are rewritten to
+// two-byte escapes. The mapping is injective — "\\0" (a literal
+// backslash then '0') and "\0" (an escaped NUL) cannot collide because
+// a literal backslash always escapes to "\\".
+func escape(s string) string {
+	if !strings.ContainsAny(s, "|\\\x00") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '|':
+			b.WriteString(`\|`)
+		case '\\':
+			b.WriteString(`\\`)
+		case 0:
+			b.WriteString(`\0`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
 
 // stripUnique removes the uniqueness suffix ("\x00<seq>") appended by
 // RSM clients to make identical commands distinct items. Views parse
@@ -61,12 +86,31 @@ func stripUnique(body string) string {
 	return body
 }
 
+// unescapeKeySplit parses an escaped field up to the next unescaped
+// '|' separator, returning the decoded field and the raw remainder.
+// Hostile bodies (Byzantine authors craft arbitrary bytes) must never
+// round-trip into a different key than an honest encoding: a dangling
+// escape lead (trailing '\') or an unknown escape pair is rejected
+// outright rather than passed through, so every accepted field is the
+// image of exactly one escape() input.
 func unescapeKeySplit(s string) (key, rest string, ok bool) {
 	var b strings.Builder
 	for i := 0; i < len(s); i++ {
 		switch {
-		case s[i] == '\\' && i+1 < len(s) && s[i+1] == '|':
-			b.WriteByte('|')
+		case s[i] == '\\':
+			if i+1 >= len(s) {
+				return "", "", false // dangling escape lead
+			}
+			switch s[i+1] {
+			case '|':
+				b.WriteByte('|')
+			case '\\':
+				b.WriteByte('\\')
+			case '0':
+				b.WriteByte(0)
+			default:
+				return "", "", false // unknown escape pair
+			}
 			i++
 		case s[i] == '|':
 			return b.String(), s[i+1:], true
@@ -75,6 +119,49 @@ func unescapeKeySplit(s string) (key, rest string, ok bool) {
 		}
 	}
 	return "", "", false
+}
+
+// unescapeTail decodes a final escaped field (no separator follows).
+func unescapeTail(s string) (string, bool) {
+	field, rest, ok := unescapeKeySplit(s + "|")
+	if !ok || rest != "" {
+		return "", false
+	}
+	return field, true
+}
+
+// RoutingKey extracts the data-item key a command addresses: the map
+// key of a put, the element of a set add/remove. Commands touching the
+// same key must colocate on one lattice shard so per-key semantics
+// (LWW ordering, remove-wins) fold over a single totally-ordered
+// history; keyless commands (counter inc/dec, malformed bodies) report
+// ok=false and may be hash-partitioned freely — their views are
+// order-free sums, indifferent to placement.
+func RoutingKey(body string) (key string, ok bool) {
+	tag, rest, found := strings.Cut(stripUnique(body), "|")
+	if !found {
+		return "", false
+	}
+	switch tag {
+	case tagAdd, tagRem:
+		elem, okE := unescapeTail(rest)
+		if !okE {
+			return "", false
+		}
+		return elem, true
+	case tagPut:
+		_, rest2, okS := strings.Cut(rest, "|")
+		if !okS {
+			return "", false
+		}
+		k, _, okK := unescapeKeySplit(rest2)
+		if !okK {
+			return "", false
+		}
+		return k, true
+	default:
+		return "", false
+	}
 }
 
 // SetView folds set commands into the 2P-Set membership: an element is
@@ -88,11 +175,15 @@ func SetView(s lattice.Set) []string {
 		if !ok {
 			continue
 		}
+		elem, okE := unescapeTail(rest)
+		if !okE {
+			continue
+		}
 		switch tag {
 		case tagAdd:
-			added[rest] = true
+			added[elem] = true
 		case tagRem:
-			removed[rest] = true
+			removed[elem] = true
 		}
 	}
 	var out []string
@@ -151,7 +242,11 @@ func MapView(s lattice.Set) map[string]string {
 		if err != nil {
 			continue
 		}
-		key, value, ok := unescapeKeySplit(rest2)
+		key, rawValue, ok := unescapeKeySplit(rest2)
+		if !ok {
+			continue
+		}
+		value, ok := unescapeTail(rawValue)
 		if !ok {
 			continue
 		}

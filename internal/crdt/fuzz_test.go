@@ -1,0 +1,100 @@
+package crdt
+
+import (
+	"testing"
+
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+)
+
+// FuzzCRDTCommands round-trips the command codec through the views with
+// hostile field contents — separators ('|'), escape leads ('\'), NUL
+// (the uniqueness-suffix delimiter) and arbitrary bytes — and feeds raw
+// junk straight into the views as a Byzantine author would. Invariants:
+//
+//   - PutCmd(key, stamp, value) folds back to exactly map[key] = value,
+//     with the client uniqueness suffix attached (as the RSM does);
+//   - AddCmd/RemCmd round-trip through SetView with remove-wins;
+//   - routing keys are stable: the key extracted from a command equals
+//     the key that was encoded (shard placement never splits a key);
+//   - no view panics or misattributes on malformed bodies.
+func FuzzCRDTCommands(f *testing.F) {
+	f.Add("k", "v", uint64(1), []byte("junk"))
+	f.Add("a|b", "c|d", uint64(7), []byte("put|9|x|y"))
+	f.Add(`trailing\`, `back\slash`, uint64(2), []byte(`put|1|esc\`))
+	f.Add("nul\x00key", "nul\x00val", uint64(3), []byte("add|\x00"))
+	f.Add(`\0`, "\x00", uint64(4), []byte(`put|5|\q|v`))
+	f.Add("", "", uint64(0), []byte("|||"))
+	f.Fuzz(func(t *testing.T, key, value string, stamp uint64, junk []byte) {
+		suffix := "\x00fuzz-client|42" // what rsm.UniqueCmd appends
+		author := ident.ProcessID(3)
+
+		put := lattice.Item{Author: author, Body: PutCmd(key, stamp, value) + suffix}
+		m := MapView(lattice.FromItems(put))
+		if len(m) != 1 || m[key] != value {
+			t.Fatalf("PutCmd(%q, %d, %q) folded to %q (want 1 entry)", key, stamp, value, m)
+		}
+		if rk, ok := RoutingKey(PutCmd(key, stamp, value)); !ok || rk != key {
+			t.Fatalf("RoutingKey(put %q) = %q, %v", key, rk, ok)
+		}
+
+		elem := key + value
+		add := lattice.Item{Author: author, Body: AddCmd(elem) + suffix}
+		if got := SetView(lattice.FromItems(add)); len(got) != 1 || got[0] != elem {
+			t.Fatalf("AddCmd(%q) folded to %v", elem, got)
+		}
+		rem := lattice.Item{Author: author, Body: RemCmd(elem) + suffix}
+		if got := SetView(lattice.FromItems(add, rem)); len(got) != 0 {
+			t.Fatalf("RemCmd(%q) did not win: %v", elem, got)
+		}
+		if rk, ok := RoutingKey(AddCmd(elem)); !ok || rk != elem {
+			t.Fatalf("RoutingKey(add %q) = %q, %v", elem, rk, ok)
+		}
+
+		// A hostile body must never panic a view or RoutingKey, and a
+		// junk put must never shadow the honest key unless it decodes to
+		// the same key with a higher (stamp, body) pair — which requires
+		// it to be a well-formed encoding of that key.
+		hostile := lattice.Item{Author: ident.ProcessID(666), Body: string(junk)}
+		both := lattice.FromItems(put, hostile)
+		_ = SetView(both)
+		_ = CounterView(both)
+		_, _ = RoutingKey(string(junk))
+		mixed := MapView(both)
+		if hv, ok := mixed[key]; ok && hv != value {
+			if hk, okK := RoutingKey(string(junk)); !okK || hk != key {
+				t.Fatalf("junk %q shadowed key %q with %q without being a well-formed encoding of it",
+					junk, key, hv)
+			}
+		}
+	})
+}
+
+// TestEscapeInjective pins the collision pair the old codec had: a key
+// ending in '\' merged its escape lead with the separator, and NUL in
+// any field was cut as a uniqueness suffix.
+func TestEscapeInjective(t *testing.T) {
+	pairs := [][2]string{
+		{`a\`, `a`},        // trailing backslash
+		{`a\0b`, "a\x00b"}, // literal backslash-zero vs escaped NUL
+		{`|`, `\|`},
+		{"", "\x00"},
+	}
+	for _, p := range pairs {
+		if escape(p[0]) == escape(p[1]) {
+			t.Fatalf("escape collides: %q and %q both -> %q", p[0], p[1], escape(p[0]))
+		}
+	}
+	for _, s := range []string{`a\`, "x\x00y", `\\0`, "||", `\`} {
+		got, ok := unescapeTail(escape(s))
+		if !ok || got != s {
+			t.Fatalf("unescapeTail(escape(%q)) = %q, %v", s, got, ok)
+		}
+	}
+	// Hostile non-images are rejected, not misread.
+	for _, s := range []string{`\`, `\q`, `a\`} {
+		if _, ok := unescapeTail(s); ok {
+			t.Fatalf("unescapeTail accepted non-image %q", s)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled marks builds instrumented by the race detector, whose
+// 5-20x slowdown makes wall-clock speedup gates unreliable; live
+// experiments shrink their sweeps and tests relax their gates under it.
+const raceEnabled = true

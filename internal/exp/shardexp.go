@@ -1,0 +1,244 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"bgla"
+)
+
+// E17 — sharded multi-lattice throughput. A single lattice pays
+// O(history) per agreement round (set folds, RBC payload identity,
+// digest work over the whole Accepted_set), so at a fixed proposal
+// granularity the cost of deciding N commands grows ~quadratically with
+// N. Key-partitioning into S independent lattices divides every
+// per-round state by S while preserving per-key semantics exactly
+// (commands for one key colocate; keyless commands spread), so
+// aggregate decided-ops/sec scales with S even before the shards'
+// parallelism is spread over cores.
+//
+// The benchmark drives a saturated mixed CRDT workload (LWW puts,
+// 2P-set adds, counter incs — 1/3 each) from a closed pool of client
+// goroutines through bgla.Store at S ∈ {1, 2, 4, 8}, with one mute
+// Byzantine replica per shard (a different replica in each shard, so
+// every replica process is Byzantine somewhere but no shard exceeds
+// f). All pipeline knobs are identical across rows — only S varies.
+// Correctness gates the measurement: the final consistent Scan must
+// fold to exactly the expected counter, set and map views.
+
+// ShardBenchRow is one measured shard count.
+type ShardBenchRow struct {
+	Shards        int     `json:"shards"`
+	Clients       int     `json:"clients"`
+	OpsPerClient  int     `json:"ops_per_client"`
+	Ops           int     `json:"ops"`
+	MutedPerShard int     `json:"muted_per_shard"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	Flights       uint64  `json:"flights"`
+	AvgBatch      float64 `json:"avg_batch"`
+	ScanPasses    uint64  `json:"scan_passes"`
+	// Speedup is aggregate ops/sec relative to the S=1 row.
+	Speedup float64 `json:"speedup_vs_one_shard"`
+}
+
+// ShardBenchReport aggregates E17; cmd/bglabench serializes it to
+// BENCH_shard.json so horizontal scaling is tracked across PRs.
+type ShardBenchReport struct {
+	Experiment string          `json:"experiment"`
+	Replicas   int             `json:"replicas"`
+	Faulty     int             `json:"faulty"`
+	MaxBatch   int             `json:"max_batch"`
+	Rows       []ShardBenchRow `json:"rows"`
+	// SpeedupAt4 is the S=4 row's speedup; Pass2x requires it >= 2.
+	SpeedupAt4  float64 `json:"speedup_at_4_shards"`
+	BestSpeedup float64 `json:"best_speedup"`
+	Pass2x      bool    `json:"pass_2x_at_4_shards"`
+}
+
+// JSON renders the report (indented, trailing newline).
+func (r *ShardBenchReport) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // static struct: cannot fail
+	}
+	return append(out, '\n')
+}
+
+// shardWorkloadBody builds op k of client c: puts, adds and incs in
+// equal measure, keys spread uniformly over shards by hash.
+func shardWorkloadBody(c, k int) string {
+	switch k % 3 {
+	case 0:
+		return bgla.PutCmd(fmt.Sprintf("key-%d-%d", c, k), uint64(k+1), fmt.Sprintf("w%d", c))
+	case 1:
+		return bgla.AddCmd(fmt.Sprintf("elem-%d-%d", c, k))
+	default:
+		return bgla.IncCmd(1)
+	}
+}
+
+// runShardConfig measures one shard count under the saturated workload.
+func runShardConfig(shards, replicas, faulty, maxBatch, clients, opsPerClient int) (ShardBenchRow, error) {
+	row := ShardBenchRow{
+		Shards: shards, Clients: clients, OpsPerClient: opsPerClient,
+		Ops: clients * opsPerClient, MutedPerShard: 1,
+	}
+	// One mute Byzantine replica per shard, rotating across processes.
+	mutes := make([][]int, shards)
+	for s := range mutes {
+		mutes[s] = []int{s % replicas}
+	}
+	st, err := bgla.NewStore(bgla.ShardedConfig{
+		Shards: shards,
+		ServiceConfig: bgla.ServiceConfig{
+			Replicas: replicas, Faulty: faulty, Seed: 1,
+			// Fixed agreement granularity across rows: MinBatch=MaxBatch
+			// group-commits full proposals, so every row decides in
+			// ~equal-sized rounds and the comparison isolates what
+			// sharding divides — the O(history) per-round state.
+			MaxBatch: maxBatch, MinBatch: maxBatch,
+			MaxInFlight: 1, MaxBatchDelay: 20 * time.Millisecond,
+		},
+		ShardMutes: mutes,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer st.Close()
+
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < opsPerClient; k++ {
+				if err := st.Update(shardWorkloadBody(c, k)); err != nil {
+					errs <- fmt.Errorf("client %d op %d: %w", c, k, err)
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return row, err
+		}
+	}
+
+	// Correctness gate: the consistent cross-shard Scan must reflect
+	// every decided command, or the throughput number is meaningless.
+	state, err := st.Scan()
+	if err != nil {
+		return row, err
+	}
+	perClient := func(rem int) int {
+		n := 0
+		for k := 0; k < opsPerClient; k++ {
+			if k%3 == rem {
+				n++
+			}
+		}
+		return n
+	}
+	if got, want := bgla.CounterView(state), int64(clients*perClient(2)); got != want {
+		return row, fmt.Errorf("S=%d: counter = %d after %d increments", shards, got, want)
+	}
+	if got, want := len(bgla.SetView(state)), clients*perClient(1); got != want {
+		return row, fmt.Errorf("S=%d: set has %d elements, want %d", shards, got, want)
+	}
+	if got, want := len(bgla.MapView(state)), clients*perClient(0); got != want {
+		return row, fmt.Errorf("S=%d: map has %d keys, want %d", shards, got, want)
+	}
+
+	stats := st.Stats()
+	row.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	row.OpsPerSec = float64(row.Ops) / elapsed.Seconds()
+	row.Flights = stats.Total.Flights
+	row.AvgBatch = stats.Total.AvgBatch
+	row.ScanPasses = stats.ScanPasses
+	return row, nil
+}
+
+// ShardThroughputReport (E17) measures aggregate decided-ops/sec of the
+// sharded store at S ∈ {1, 2, 4, 8} under a saturated mixed CRDT
+// workload with per-shard mute-Byzantine fault injection.
+func ShardThroughputReport(quick bool) (*ShardBenchReport, error) {
+	shardCounts := []int{1, 2, 4, 8}
+	clients, opsPerClient, maxBatch := 256, 6, 16
+	if quick {
+		shardCounts = []int{1, 2, 4}
+		clients, opsPerClient = 192, 4
+	}
+	if raceEnabled {
+		// The race detector's ~10-20x slowdown makes the full sweep
+		// unaffordable in `go test -race ./...`; a micro sweep still
+		// exercises the whole sharded path end to end.
+		shardCounts = []int{1, 4}
+		clients, opsPerClient = 48, 2
+	}
+	rep := &ShardBenchReport{
+		Experiment: "sharded multi-lattice store — aggregate throughput vs shard count",
+		Replicas:   4, Faulty: 1, MaxBatch: maxBatch,
+	}
+	var baseline float64
+	for _, s := range shardCounts {
+		row, err := runShardConfig(s, rep.Replicas, rep.Faulty, maxBatch, clients, opsPerClient)
+		if err != nil {
+			return nil, err
+		}
+		if s == 1 {
+			baseline = row.OpsPerSec
+		}
+		row.Speedup = row.OpsPerSec / baseline
+		if s == 4 {
+			rep.SpeedupAt4 = row.Speedup
+		}
+		if row.Speedup > rep.BestSpeedup {
+			rep.BestSpeedup = row.Speedup
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Pass2x = rep.SpeedupAt4 >= 2
+	return rep, nil
+}
+
+// Table renders the report as the E17 experiment table.
+func (r *ShardBenchReport) Table() *Table {
+	t := &Table{
+		ID:      "E17",
+		Title:   "sharded multi-lattice store — aggregate throughput vs shard count",
+		Columns: []string{"shards", "clients", "ops", "ops/sec", "flights", "avg batch", "scan passes", "speedup"},
+		Pass:    r.Pass2x,
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Shards, row.Clients, row.Ops, row.OpsPerSec,
+			row.Flights, row.AvgBatch, row.ScanPasses, row.Speedup)
+	}
+	t.Note("one mute Byzantine replica per shard (rotating), identical pipeline knobs on every row")
+	t.Note("pass requires >= 2x aggregate decided-ops/sec at S=4 vs S=1")
+	return t
+}
+
+// ShardThroughput (E17) is the Table-producing wrapper used by All.
+func ShardThroughput(quick bool) *Table {
+	rep, err := ShardThroughputReport(quick)
+	if err != nil {
+		t := &Table{
+			ID:      "E17",
+			Title:   "sharded multi-lattice store — aggregate throughput vs shard count",
+			Columns: []string{"error"},
+		}
+		t.AddRow(err.Error())
+		return t
+	}
+	return rep.Table()
+}

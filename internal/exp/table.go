@@ -88,13 +88,14 @@ func (t *Table) Render() string {
 // sweeps for fast regression runs (tests); full sweeps feed
 // EXPERIMENTS.md.
 func All(quick bool) []*Table {
-	return append(AllBase(quick), BatchThroughput(quick), WireDelta(quick))
+	return append(AllBase(quick), BatchThroughput(quick), WireDelta(quick), ShardThroughput(quick))
 }
 
 // AllBase returns the deterministic-simulator experiments (E1-E14);
-// the live benchmarks E15 (batching) and E16 (delta wire codec) are
-// separate so cmd/bglabench can capture their structured reports for
-// BENCH_batch.json and BENCH_wire.json.
+// the live benchmarks E15 (batching), E16 (delta wire codec) and E17
+// (sharded store) are separate so cmd/bglabench can capture their
+// structured reports for BENCH_batch.json, BENCH_wire.json and
+// BENCH_shard.json.
 func AllBase(quick bool) []*Table {
 	return []*Table{
 		FigureChain(),

@@ -90,6 +90,8 @@ func PrimarySet(m Msg) (lattice.Set, bool) {
 		return PrimarySet(v.Payload)
 	case RBCReady:
 		return PrimarySet(v.Payload)
+	case ShardMsg:
+		return PrimarySet(v.Inner)
 	default:
 		return lattice.Set{}, false
 	}
@@ -137,6 +139,9 @@ func WithPrimarySet(m Msg, s lattice.Set) Msg {
 		return v
 	case RBCReady:
 		v.Payload = WithPrimarySet(v.Payload, s)
+		return v
+	case ShardMsg:
+		v.Inner = WithPrimarySet(v.Inner, s)
 		return v
 	default:
 		return m

@@ -185,6 +185,9 @@ func FuzzWireRoundTrip(f *testing.F) {
 		DeltaNack{Seq: 7},
 		Wakeup{Tag: "w"},
 		Junk{Blob: "junk"},
+		ShardMsg{Shard: 2, Inner: Ack{Accepted: s, TS: 3, Round: 1}},
+		ShardMsg{Shard: 0, Inner: RBCEcho{Src: 1, Tag: "t", Payload: AckB{Accepted: s, Dest: 1}}},
+		ShardMsg{Shard: -1, Inner: NewValue{Cmd: it}},
 	}
 	for _, m := range seeds {
 		data, err := Encode(m)

@@ -45,6 +45,8 @@ const (
 
 	KindWakeup Kind = "wakeup" // simulator timer self-message
 	KindJunk   Kind = "junk"   // adversarial garbage
+
+	KindShard Kind = "shard" // shard-tagged envelope (internal/shard)
 )
 
 // Msg is implemented by every protocol message.
@@ -307,6 +309,22 @@ type DecidedCert struct {
 
 // Kind implements Msg.
 func (DecidedCert) Kind() Kind { return KindDecidedCert }
+
+// --- Sharding envelope ---------------------------------------------------
+
+// ShardMsg tags a protocol message with the lattice instance (shard) it
+// belongs to, so many independent BGLA clusters can multiplex one
+// transport (internal/shard). The wrapper is pure routing: shard s's
+// machines never see traffic tagged for s' != s, which keeps the
+// per-shard protocol state machines byte-for-byte identical to the
+// unsharded ones.
+type ShardMsg struct {
+	Shard int
+	Inner Msg
+}
+
+// Kind implements Msg.
+func (ShardMsg) Kind() Kind { return KindShard }
 
 // --- Infrastructure messages ---------------------------------------------
 

@@ -22,6 +22,13 @@ type rbcWire struct {
 	Payload Envelope        `json:"payload"`
 }
 
+// shardWire is the JSON form of the shard-tagged envelope, whose inner
+// message is itself enveloped (and may in turn be an RBC wrapper).
+type shardWire struct {
+	Shard int      `json:"shard"`
+	Inner Envelope `json:"inner"`
+}
+
 // Encode serializes a message into its envelope bytes.
 func Encode(m Msg) ([]byte, error) {
 	env, err := ToEnvelope(m)
@@ -53,6 +60,12 @@ func ToEnvelope(m Msg) (Envelope, error) {
 			return Envelope{}, err
 		}
 		body = rbcWire{Src: v.Src, Tag: v.Tag, Payload: inner}
+	case ShardMsg:
+		inner, err := ToEnvelope(v.Inner)
+		if err != nil {
+			return Envelope{}, err
+		}
+		body = shardWire{Shard: v.Shard, Inner: inner}
 	}
 	raw, err := json.Marshal(body)
 	if err != nil {
@@ -102,6 +115,16 @@ func FromEnvelope(env Envelope) (Msg, error) {
 			return nil, err
 		}
 		return RBCReady{Src: src, Tag: tag, Payload: p}, nil
+	case KindShard:
+		var w shardWire
+		if err := json.Unmarshal(env.B, &w); err != nil {
+			return nil, fmt.Errorf("msg: body of %s: %w", env.K, err)
+		}
+		inner, err := FromEnvelope(w.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return ShardMsg{Shard: w.Shard, Inner: inner}, nil
 	case KindDisclosure:
 		return decodeBody[Disclosure](env)
 	case KindAckReq:

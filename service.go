@@ -3,6 +3,7 @@ package bgla
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +40,11 @@ type ServiceConfig struct {
 	// MaxBatchDelay bounds how long a forming batch lingers for more
 	// operations once every flight slot is busy (default 200µs).
 	MaxBatchDelay time.Duration
+	// MinBatch is the group-commit floor: a forming batch waits (up to
+	// MaxBatchDelay) for at least this many operations even while
+	// flight slots are free (default 1 — no waiting when idle; see
+	// internal/batch).
+	MinBatch int
 	// MaxInFlight bounds pipelined proposals (default 8).
 	MaxInFlight int
 	// QueueDepth bounds queued operations; beyond it callers block —
@@ -48,6 +54,10 @@ type ServiceConfig struct {
 
 // clientID is the identity the Service uses on the network.
 const clientID ident.ProcessID = 1_000_000
+
+// defaultOpTimeout bounds each operation when the config leaves
+// OpTimeout zero.
+const defaultOpTimeout = 30 * time.Second
 
 // gateway is the Service's in-network presence: it forwards replica
 // notifications to the batching pipeline, which content-matches them
@@ -87,6 +97,8 @@ type Service struct {
 	gw   *gateway
 	pipe *batch.Pipeline
 	seq  atomic.Int64
+
+	closeOnce sync.Once
 }
 
 // NewService builds and starts the cluster.
@@ -97,8 +109,13 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if len(cfg.MuteReplicas) > cfg.Faulty {
 		return nil, fmt.Errorf("bgla: %d mute replicas exceed f=%d", len(cfg.MuteReplicas), cfg.Faulty)
 	}
+	for _, i := range cfg.MuteReplicas {
+		if i < 0 || i >= cfg.Replicas {
+			return nil, fmt.Errorf("bgla: mute replica %d out of range", i)
+		}
+	}
 	if cfg.OpTimeout == 0 {
-		cfg.OpTimeout = 30 * time.Second
+		cfg.OpTimeout = defaultOpTimeout
 	}
 	mute := ident.NewSet()
 	for _, i := range cfg.MuteReplicas {
@@ -139,6 +156,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		F:           cfg.Faulty,
 		MaxBatch:    cfg.MaxBatch,
 		MaxDelay:    cfg.MaxBatchDelay,
+		MinBatch:    cfg.MinBatch,
 		MaxInFlight: cfg.MaxInFlight,
 		QueueDepth:  cfg.QueueDepth,
 		OpTimeout:   cfg.OpTimeout,
@@ -152,9 +170,14 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 }
 
 // Close shuts the cluster down; blocked callers return an error.
+// Idempotent and safe for concurrent use — aggregates like Store fan
+// Close out over many components without coordinating callers, and a
+// second Close (defer + explicit) must not re-stop the network.
 func (s *Service) Close() {
-	s.pipe.Close()
-	s.net.Stop()
+	s.closeOnce.Do(func() {
+		s.pipe.Close()
+		s.net.Stop()
+	})
 }
 
 // Update applies a commutative command to the replicated state and

@@ -1,0 +1,160 @@
+package bgla
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStoreScanStress is the cross-shard consistency stress test: many
+// goroutines write keyed and keyless commands across every shard while
+// concurrent scanners take global snapshots, with one mute Byzantine
+// replica per shard (a different replica in each shard, so every
+// process is Byzantine somewhere). Run under -race. Checks:
+//
+//   - Scans are totally ordered: any two scans' merged item sets are
+//     comparable (one contains the other) — across all scanners. This
+//     is the snapshot-object guarantee (§1/§2) lifted to the sharded
+//     store: per-shard reads are totally ordered by Theorem 6, and the
+//     rescan loop makes the merged cuts comparable too.
+//   - Scans are monotone per scanner.
+//   - Every completed update is visible to the final scan.
+func TestStoreScanStress(t *testing.T) {
+	const (
+		shards       = 4
+		writers      = 6
+		opsPerWriter = 10
+		scanners     = 3
+		scansEach    = 4
+	)
+	st, err := NewStore(ShardedConfig{
+		Shards: shards,
+		ServiceConfig: ServiceConfig{
+			Replicas: 4, Faulty: 1,
+			Jitter: 200 * time.Microsecond,
+			Seed:   99,
+		},
+		// One mute Byzantine replica per shard, rotating so each
+		// process is mute in exactly one shard.
+		ShardMutes: [][]int{{0}, {1}, {2}, {3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	type scanObs struct {
+		scanner int
+		items   map[Item]bool
+	}
+	var (
+		mu    sync.Mutex
+		scans []scanObs
+	)
+	errs := make(chan error, writers+scanners)
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < opsPerWriter; k++ {
+				var body string
+				switch k % 3 {
+				case 0:
+					body = PutCmd(fmt.Sprintf("key-%d", (w*opsPerWriter+k)%16), uint64(k+1), fmt.Sprintf("w%d", w))
+				case 1:
+					body = AddCmd(fmt.Sprintf("elem-%d-%d", w, k))
+				default:
+					body = IncCmd(1)
+				}
+				if err := st.Update(body); err != nil {
+					errs <- fmt.Errorf("writer %d op %d: %w", w, k, err)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for sc := 0; sc < scanners; sc++ {
+		wg.Add(1)
+		go func(sc int) {
+			defer wg.Done()
+			prev := -1
+			for k := 0; k < scansEach; k++ {
+				state, err := st.Scan()
+				if err != nil {
+					errs <- fmt.Errorf("scanner %d scan %d: %w", sc, k, err)
+					return
+				}
+				if len(state) < prev {
+					errs <- fmt.Errorf("scanner %d shrank: %d < %d", sc, len(state), prev)
+					return
+				}
+				prev = len(state)
+				items := make(map[Item]bool, len(state))
+				for _, it := range state {
+					items[it] = true
+				}
+				mu.Lock()
+				scans = append(scans, scanObs{scanner: sc, items: items})
+				mu.Unlock()
+			}
+			errs <- nil
+		}(sc)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Total order: sorted by size, every scan must contain its
+	// predecessor — two incomparable global cuts would mean a scanner
+	// merged shard views from different moments.
+	sort.Slice(scans, func(i, j int) bool { return len(scans[i].items) < len(scans[j].items) })
+	for i := 1; i < len(scans); i++ {
+		small, big := scans[i-1], scans[i]
+		for it := range small.items {
+			if !big.items[it] {
+				t.Fatalf("incomparable scans: scanner %d's %d-item cut misses %q/%d seen by scanner %d's %d-item cut",
+					big.scanner, len(big.items), it.Body, it.Author, small.scanner, len(small.items))
+			}
+		}
+	}
+
+	// Visibility: the final scan reflects every completed update.
+	state, err := st.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	incs := 0
+	adds := 0
+	for k := 0; k < opsPerWriter; k++ {
+		switch k % 3 {
+		case 1:
+			adds++
+		case 2:
+			incs++
+		}
+	}
+	if got := CounterView(state); got != int64(writers*incs) {
+		t.Fatalf("final counter = %d, want %d", got, writers*incs)
+	}
+	if got := len(SetView(state)); got != writers*adds {
+		t.Fatalf("final set has %d elements, want %d", got, writers*adds)
+	}
+
+	stats := st.Stats()
+	for s, ps := range stats.PerShard {
+		if ps.Flights == 0 {
+			t.Fatalf("shard %d carried no flights under a spread workload: %+v", s, stats.PerShard)
+		}
+	}
+	t.Logf("shards: %d ops over %d flights total; %d scans in %d passes",
+		stats.Total.Ops, stats.Total.Flights, stats.Scans, stats.ScanPasses)
+}

@@ -1,0 +1,352 @@
+package bgla
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bgla/internal/batch"
+	"bgla/internal/chanet"
+	"bgla/internal/core"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+	"bgla/internal/rsm"
+	"bgla/internal/shard"
+)
+
+// ShardedConfig configures a sharded multi-lattice store: S independent
+// BGLA clusters (each the full §7 construction — its own GWTS protocol
+// state, batching pipeline and wire streams) multiplexed over one
+// shared transport by the shard-tagged envelope of internal/shard.
+type ShardedConfig struct {
+	// Shards is S, the number of independent lattice instances
+	// (default 1, which is an unsharded Service with a Scan method).
+	Shards int
+
+	// ServiceConfig carries the per-cluster knobs: every shard runs on
+	// the same n replica processes with the same fault bound, jitter and
+	// batching pipeline configuration. MuteReplicas mutes a replica
+	// process in every shard.
+	ServiceConfig
+
+	// ShardMutes[s] lists replica indices to run as mute Byzantine
+	// replicas in shard s only (per-shard fault injection: the replica
+	// process stays correct for every other shard). Combined with
+	// MuteReplicas, at most Faulty replicas may be mute per shard.
+	ShardMutes [][]int
+}
+
+// Store is a horizontally partitioned replicated state machine:
+// commands are routed to one of S independent lattices by the data-item
+// key they address (hash-partitioned when keyless), so aggregate
+// throughput scales with S while each shard keeps the exact per-key
+// semantics, fault tolerance and client guarantees of the single
+// Service. All methods are safe for concurrent use.
+//
+//   - Update routes a command to its shard (Algorithm 5 semantics
+//     within that shard);
+//   - Read is a confirmed point read of one key's shard (Algorithm 6);
+//   - Scan is a consistent cross-shard read: per-shard confirmed reads
+//     merged under a rescan loop that retries until no shard's view
+//     advanced between two consecutive passes, which pins the merged
+//     result to a real global state (see DESIGN.md §5) — so any two
+//     Scans are totally ordered, like single-lattice reads.
+type Store struct {
+	cfg     ShardedConfig
+	net     *chanet.Net
+	demuxes []*shard.Demux
+	pipes   []*batch.Pipeline
+	seq     atomic.Uint64
+
+	scans      atomic.Uint64
+	scanPasses atomic.Uint64
+
+	closeOnce sync.Once
+}
+
+// NewStore builds and starts the sharded cluster.
+func NewStore(cfg ShardedConfig) (*Store, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("bgla: %d shards", cfg.Shards)
+	}
+	if err := core.ValidateConfig(cfg.Replicas, cfg.Faulty); err != nil {
+		return nil, err
+	}
+	if len(cfg.ShardMutes) > cfg.Shards {
+		return nil, fmt.Errorf("bgla: mutes for %d shards, only %d configured", len(cfg.ShardMutes), cfg.Shards)
+	}
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = defaultOpTimeout
+	}
+
+	// Per-shard mute sets: process-wide mutes apply everywhere, shard
+	// mutes only to their shard. Each shard independently tolerates at
+	// most Faulty mute replicas.
+	for _, i := range cfg.MuteReplicas {
+		if i < 0 || i >= cfg.Replicas {
+			return nil, fmt.Errorf("bgla: mute replica %d out of range", i)
+		}
+	}
+	mutes := make([]*ident.Set, cfg.Shards)
+	for s := range mutes {
+		mutes[s] = ident.NewSet()
+		for _, i := range cfg.MuteReplicas {
+			mutes[s].Add(ident.ProcessID(i))
+		}
+	}
+	for s, list := range cfg.ShardMutes {
+		for _, i := range list {
+			if i < 0 || i >= cfg.Replicas {
+				return nil, fmt.Errorf("bgla: shard %d mute replica %d out of range", s, i)
+			}
+			mutes[s].Add(ident.ProcessID(i))
+		}
+	}
+	for s := range mutes {
+		if mutes[s].Len() > cfg.Faulty {
+			return nil, fmt.Errorf("bgla: %d mute replicas in shard %d exceed f=%d", mutes[s].Len(), s, cfg.Faulty)
+		}
+	}
+
+	all := append(ident.Range(cfg.Replicas), clientID)
+	gw := shard.NewGateway(clientID, cfg.Shards)
+	machines := []proto.Machine{gw}
+	demuxes := make([]*shard.Demux, 0, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		id := ident.ProcessID(i)
+		subs := make([]proto.Machine, cfg.Shards)
+		for s := 0; s < cfg.Shards; s++ {
+			if mutes[s].Has(id) {
+				continue // nil sub = mute in this shard
+			}
+			r, err := rsm.NewReplica(rsm.ReplicaConfig{
+				Self: id, N: cfg.Replicas, F: cfg.Faulty,
+				Clients: []ident.ProcessID{clientID},
+			})
+			if err != nil {
+				return nil, err
+			}
+			subs[s] = r
+		}
+		d, err := shard.NewDemux(shard.DemuxConfig{Self: id, Subs: subs, All: all})
+		if err != nil {
+			return nil, err
+		}
+		demuxes = append(demuxes, d)
+		machines = append(machines, d)
+	}
+	net := chanet.New(machines, chanet.Options{MaxJitter: cfg.Jitter, Seed: cfg.Seed})
+	for _, d := range demuxes {
+		d.SetSend(func(to ident.ProcessID, m msg.Msg) { net.Inject(d.ID(), to, m) })
+	}
+
+	pipes := make([]*batch.Pipeline, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		// Trigger new_value at f+1 replicas correct *in this shard*
+		// (mute shard instances relay nothing; see Service).
+		var submitTo []ident.ProcessID
+		for i := 0; i < cfg.Replicas && len(submitTo) < core.ReadQuorum(cfg.Faulty); i++ {
+			if id := ident.ProcessID(i); !mutes[s].Has(id) {
+				submitTo = append(submitTo, id)
+			}
+		}
+		p, err := batch.New(batch.Config{
+			Client:      clientID,
+			Replicas:    ident.Range(cfg.Replicas),
+			SubmitTo:    submitTo,
+			F:           cfg.Faulty,
+			MaxBatch:    cfg.MaxBatch,
+			MaxDelay:    cfg.MaxBatchDelay,
+			MinBatch:    cfg.MinBatch,
+			MaxInFlight: cfg.MaxInFlight,
+			QueueDepth:  cfg.QueueDepth,
+			OpTimeout:   cfg.OpTimeout,
+		}, shard.NewSender(s, func(to ident.ProcessID, m msg.Msg) {
+			net.Inject(clientID, to, m)
+		}))
+		if err != nil {
+			for _, q := range pipes {
+				if q != nil {
+					q.Close()
+				}
+			}
+			return nil, err
+		}
+		pipes[s] = p
+	}
+	gw.SetDeliver(func(s int, from ident.ProcessID, m msg.Msg) { pipes[s].Deliver(from, m) })
+	net.Start()
+	return &Store{cfg: cfg, net: net, demuxes: demuxes, pipes: pipes}, nil
+}
+
+// Close shuts the whole cluster down: every shard pipeline, every
+// replica's shard workers, then the transport. Idempotent and safe to
+// call concurrently; blocked callers return an error.
+func (st *Store) Close() {
+	st.closeOnce.Do(func() {
+		for _, p := range st.pipes {
+			p.Close()
+		}
+		// Workers quiesce before the net stops: they inject into the
+		// transport, and chanet.Stop must not race with Inject.
+		for _, d := range st.demuxes {
+			d.Stop()
+		}
+		st.net.Stop()
+	})
+}
+
+// Shards returns S.
+func (st *Store) Shards() int { return st.cfg.Shards }
+
+// ShardOfKey reports which shard owns a data-item key (the map key of
+// PutCmd, the element of AddCmd/RemCmd).
+func (st *Store) ShardOfKey(key string) int { return shard.Of(key, st.cfg.Shards) }
+
+// Update applies a commutative command to the shard owning its key
+// (hash-partitioned when keyless) and returns once it is durably
+// decided there (Algorithm 5 within the shard).
+func (st *Store) Update(body string) error {
+	return st.UpdateCtx(context.Background(), body)
+}
+
+// UpdateCtx is Update with caller-controlled cancellation.
+func (st *Store) UpdateCtx(ctx context.Context, body string) error {
+	seq := st.seq.Add(1)
+	s := shard.Route(body, seq, st.cfg.Shards)
+	return st.pipes[s].Update(ctx, rsm.UniqueCmd(clientID, int(seq), body))
+}
+
+// Read returns the confirmed state of the shard owning key, as command
+// items (Algorithm 6 within that shard). It covers every command
+// addressing that key — a point read never pays for other shards.
+func (st *Store) Read(key string) ([]Item, error) {
+	return st.ReadCtx(context.Background(), key)
+}
+
+// ReadCtx is Read with caller-controlled cancellation.
+func (st *Store) ReadCtx(ctx context.Context, key string) ([]Item, error) {
+	v, err := st.pipes[st.ShardOfKey(key)].Read(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return fromLatticeSet(rsm.StripNops(v)), nil
+}
+
+// Scan returns a consistent global state across every shard. Any two
+// Scans are totally ordered (one reflects a superset of the commands of
+// the other) and every completed Update is visible to later Scans.
+func (st *Store) Scan() ([]Item, error) {
+	return st.ScanCtx(context.Background())
+}
+
+// ScanCtx is Scan with caller-controlled cancellation. The rescan loop
+// re-reads all shards until two consecutive passes agree; under heavy
+// sustained writes that can take several passes (ctx or the configured
+// OpTimeout per inner read bounds the wait).
+func (st *Store) ScanCtx(ctx context.Context) ([]Item, error) {
+	st.scans.Add(1)
+	// OpTimeout bounds the whole scan, not each inner read: a rescan
+	// loop that keeps losing races against writers must eventually fail
+	// rather than spin.
+	ctx, cancel := context.WithTimeout(ctx, st.cfg.OpTimeout)
+	defer cancel()
+	views, err := st.collect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// S=1 is already a linearizable read; rescanning buys nothing.
+	for st.cfg.Shards > 1 {
+		next, err := st.collect(ctx)
+		if err != nil {
+			return nil, err
+		}
+		stable := true
+		for s := range views {
+			if views[s].Digest() != next[s].Digest() {
+				stable = false
+			}
+		}
+		views = next
+		if stable {
+			break
+		}
+	}
+	var items []lattice.Item
+	for _, v := range views {
+		items = append(items, v.Items()...)
+	}
+	return fromLatticeSet(lattice.FromItems(items...)), nil
+}
+
+// collect runs one parallel pass of per-shard confirmed reads and
+// returns the nop-stripped views.
+func (st *Store) collect(ctx context.Context) ([]lattice.Set, error) {
+	st.scanPasses.Add(1)
+	views := make([]lattice.Set, st.cfg.Shards)
+	errs := make([]error, st.cfg.Shards)
+	var wg sync.WaitGroup
+	for s := range st.pipes {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			v, err := st.pipes[s].Read(ctx)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			views[s] = rsm.StripNops(v)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return views, nil
+}
+
+// StoreStats aggregates pipeline activity across shards plus the scan
+// loop's rescan behaviour.
+type StoreStats struct {
+	// PerShard holds each shard's pipeline counters.
+	PerShard []BatchStats
+	// Total sums them.
+	Total BatchStats
+	// Scans counts ScanCtx calls; ScanPasses the per-shard read fan-outs
+	// they ran (ScanPasses/Scans > 2 means writers forced rescans).
+	Scans, ScanPasses uint64
+}
+
+// Stats snapshots the store's counters.
+func (st *Store) Stats() StoreStats {
+	out := StoreStats{Scans: st.scans.Load(), ScanPasses: st.scanPasses.Load()}
+	for _, p := range st.pipes {
+		s := p.Stats()
+		bs := BatchStats{
+			Ops: s.Ops, Updates: s.Updates, Reads: s.Reads,
+			Flights: s.Flights, MaxBatchOps: s.MaxBatchOps,
+			Timeouts: s.Timeouts, AvgBatch: s.AvgBatch(),
+		}
+		out.PerShard = append(out.PerShard, bs)
+		out.Total.Ops += bs.Ops
+		out.Total.Updates += bs.Updates
+		out.Total.Reads += bs.Reads
+		out.Total.Flights += bs.Flights
+		out.Total.Timeouts += bs.Timeouts
+		if bs.MaxBatchOps > out.Total.MaxBatchOps {
+			out.Total.MaxBatchOps = bs.MaxBatchOps
+		}
+	}
+	if out.Total.Flights > 0 {
+		out.Total.AvgBatch = float64(out.Total.Ops) / float64(out.Total.Flights)
+	}
+	return out
+}
