@@ -3,14 +3,16 @@
 // the latency and message-complexity bounds of WTS/GWTS/SbS/GSbS, the
 // RSM linearizability workload, the crash-stop baseline comparison, the
 // defense ablations, the live batched-vs-unbatched throughput benchmark
-// (E15), the digest/delta wire-codec benchmark (E16) and the sharded
-// multi-lattice throughput benchmark (E17). The structured E15/E16/E17
-// reports are written to BENCH_batch.json, BENCH_wire.json and
-// BENCH_shard.json so the performance trajectory is tracked across PRs.
+// (E15), the digest/delta wire-codec benchmark (E16), the sharded
+// multi-lattice throughput benchmark (E17) and the checkpointed
+// history-compaction benchmark (E18). The structured E15-E18 reports
+// are written to BENCH_batch.json, BENCH_wire.json, BENCH_shard.json
+// and BENCH_compact.json so the performance trajectory is tracked
+// across PRs.
 //
 // Usage:
 //
-//	bglabench [-quick] [-only E4,E8] [-batchout BENCH_batch.json] [-wireout BENCH_wire.json] [-shardout BENCH_shard.json]
+//	bglabench [-quick] [-only E4,E8] [-batchout BENCH_batch.json] [-wireout BENCH_wire.json] [-shardout BENCH_shard.json] [-compactout BENCH_compact.json]
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 	batchOut := flag.String("batchout", "BENCH_batch.json", "path for the E15 throughput report (empty disables)")
 	wireOut := flag.String("wireout", "BENCH_wire.json", "path for the E16 wire-codec report (empty disables)")
 	shardOut := flag.String("shardout", "BENCH_shard.json", "path for the E17 sharded-store report (empty disables)")
+	compactOut := flag.String("compactout", "BENCH_compact.json", "path for the E18 compaction report (empty disables)")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -101,6 +104,24 @@ func main() {
 				} else {
 					fmt.Printf("wrote %s (speedup at 4 shards: %.2fx, best: %.2fx)\n",
 						*shardOut, rep.SpeedupAt4, rep.BestSpeedup)
+				}
+			}
+		}
+	}
+	if selected("E18") {
+		rep, err := exp.CompactionReport(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bglabench: E18: %v\n", err)
+			failed++
+		} else {
+			show(rep.Table())
+			if *compactOut != "" {
+				if err := os.WriteFile(*compactOut, rep.JSON(), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "bglabench: writing %s: %v\n", *compactOut, err)
+					failed++
+				} else {
+					fmt.Printf("wrote %s (late/early: %.2fx compacted vs %.2fx unbounded; catch-up via transfer: %v)\n",
+						*compactOut, rep.FlatRatioOn, rep.GrowthRatioOff, rep.CatchUp.CaughtUp)
 				}
 			}
 		}

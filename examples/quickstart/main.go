@@ -2,6 +2,15 @@
 // lattice (the power set of {1,2,3,4} under union). Four processes each
 // propose a singleton; one is silent (crash-like Byzantine); the three
 // correct ones decide values that lie on a single chain.
+//
+// From here, the live long-running entry points are bgla.Service and
+// bgla.Store (see examples/batching and examples/sharding). For
+// deployments that run long enough for history to matter, set
+// ServiceConfig.CheckpointEvery (and/or CheckpointBytes): the cluster
+// then folds its decided prefix into signed checkpoints, keeping
+// per-round latency and resident memory flat as history grows and
+// letting restarted replicas catch up by state transfer — see
+// DESIGN.md §6.
 package main
 
 import (

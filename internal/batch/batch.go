@@ -73,8 +73,9 @@ type Config struct {
 	MaxDelay time.Duration
 	// MinBatch is the group-commit floor: a forming batch lingers (up
 	// to MaxDelay) until it has this many operations even while flight
-	// slots are free. An agreement round costs O(history) work whatever
-	// the batch carries, so under saturation a tiny "leading edge"
+	// slots are free. An agreement round costs O(window) work whatever
+	// the batch carries (O(history) without checkpoint compaction —
+	// see internal/compact), so under saturation a tiny "leading edge"
 	// flight launched into a free slot wastes a round that a floor
 	// would have filled. Raise toward MaxBatch on throughput-saturated
 	// deployments; the default 1 adds zero latency when idle (values

@@ -1,0 +1,208 @@
+package gwts
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bgla/internal/chanet"
+	"bgla/internal/compact"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+	"bgla/internal/sig"
+)
+
+const testClient ident.ProcessID = 1000
+
+func ckptMachine(t *testing.T, kc sig.Keychain, id ident.ProcessID, n, f, every int) *Machine {
+	t.Helper()
+	m, err := New(Config{
+		Self: id, N: n, F: f,
+		Compaction: compact.Config{
+			Self: id, N: n, F: f,
+			Keychain: kc, Signer: kc.SignerFor(id),
+			Every: every,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// awaitDecidedLen drains decide events until proc's decision reaches
+// want items or progress stalls.
+func awaitDecidedLen(net *chanet.Net, proc ident.ProcessID, want int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	decided, idle := 0, 0
+	for decided < want && idle < 100 && time.Now().Before(deadline) {
+		got := net.AwaitEvents(1, 50*time.Millisecond, func(e proto.Event) bool {
+			d, ok := e.(proto.DecideEvent)
+			if !ok || d.Proc != proc {
+				return false
+			}
+			if d.Value.Len() > decided {
+				decided = d.Value.Len()
+			}
+			return true
+		})
+		if got == 0 {
+			idle++
+		} else {
+			idle = 0
+		}
+	}
+	return decided
+}
+
+// TestCompactionEndToEnd drives a live 4-replica GWTS cluster with
+// checkpointing enabled: decisions must keep flowing across checkpoint
+// boundaries, every replica must install certificates, and the live
+// sets must be anchored on a certified base.
+func TestCompactionEndToEnd(t *testing.T) {
+	n, f, every, values := 4, 1, 24, 150
+	kc := sig.NewSim(n, 42)
+	var machines []proto.Machine
+	var reps []*Machine
+	for i := 0; i < n; i++ {
+		m := ckptMachine(t, kc, ident.ProcessID(i), n, f, every)
+		reps = append(reps, m)
+		machines = append(machines, m)
+	}
+	net := chanet.New(machines, chanet.Options{Seed: 5})
+	net.Start()
+	for k := 0; k < values; k++ {
+		cmd := lattice.Item{Author: testClient, Body: fmt.Sprintf("cmd-%04d", k)}
+		net.Inject(testClient, ident.ProcessID(k%(f+1)), msg.NewValue{Cmd: cmd})
+	}
+	decided := awaitDecidedLen(net, 0, values, 60*time.Second)
+	// The certificate round (prop -> countersign -> cert -> install)
+	// completes asynchronously after the triggering decision; the
+	// tracker counters are atomic, so poll them before quiescing.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, m := range reps {
+			if m.CompactionStats().Installs == 0 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	net.Stop()
+
+	if got := reps[0].Decided().Len(); got < values {
+		t.Fatalf("p0 decided %d/%d values (event high-water %d)", got, values, decided)
+	}
+	for i, m := range reps {
+		st := m.CompactionStats()
+		if st.Installs == 0 || st.Epoch == 0 {
+			t.Fatalf("replica %d installed no checkpoint: %+v", i, st)
+		}
+		if st.BaseLen < int64(every) {
+			t.Fatalf("replica %d base too small: %+v", i, st)
+		}
+		if dig, _, ok := m.Decided().BaseInfo(); !ok {
+			t.Errorf("replica %d decided set is not base-anchored", i)
+		} else if base := m.CheckpointBase(); base == nil || base.Digest() != dig {
+			t.Errorf("replica %d decided anchored on a non-current base", i)
+		}
+		if len(m.Decisions()) > maxDecSeqCompacted {
+			t.Errorf("replica %d decision log not trimmed: %d entries", i, len(m.Decisions()))
+		}
+	}
+	// Decisions stay pairwise comparable across compaction boundaries.
+	for i := range reps {
+		for j := i + 1; j < len(reps); j++ {
+			if !reps[i].Decided().Comparable(reps[j].Decided()) {
+				t.Fatalf("replicas %d and %d decided incomparable values", i, j)
+			}
+		}
+	}
+}
+
+// TestRejoinViaStateTransfer kills one replica mid-run, restarts it
+// empty, and verifies it reaches the current view through checkpoint
+// state transfer — not by replaying the history it missed (the
+// disclosure broadcasts from its downtime are gone for good). Run with
+// -race in CI.
+func TestRejoinViaStateTransfer(t *testing.T) {
+	n, f, every := 4, 1, 24
+	kc := sig.NewSim(n, 11)
+	var machines []proto.Machine
+	var reps []*Machine
+	for i := 0; i < n-1; i++ {
+		m := ckptMachine(t, kc, ident.ProcessID(i), n, f, every)
+		reps = append(reps, m)
+		machines = append(machines, m)
+	}
+	victim := ident.ProcessID(n - 1)
+	wrapper := compact.NewRestartable(ckptMachine(t, kc, victim, n, f, every))
+	machines = append(machines, wrapper)
+	net := chanet.New(machines, chanet.Options{Seed: 13})
+	net.Start()
+
+	inject := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			cmd := lattice.Item{Author: testClient, Body: fmt.Sprintf("cmd-%04d", k)}
+			net.Inject(testClient, ident.ProcessID(k%(f+1)), msg.NewValue{Cmd: cmd})
+		}
+	}
+
+	// Phase 1: healthy cluster decides the first batch.
+	inject(0, 60)
+	if got := awaitDecidedLen(net, 0, 60, 60*time.Second); got < 60 {
+		net.Stop()
+		t.Fatalf("phase 1: p0 decided only %d/60", got)
+	}
+
+	// Phase 2: crash the victim; the cluster keeps deciding without it
+	// (one silent replica is within f=1).
+	wrapper.Crash()
+	inject(60, 120)
+	if got := awaitDecidedLen(net, 0, 120, 60*time.Second); got < 120 {
+		net.Stop()
+		t.Fatalf("phase 2: p0 decided only %d/120", got)
+	}
+
+	// Phase 3: restart from empty. The disclosures of phase 2 are
+	// unrecoverable; only a checkpoint can cover them. Keep traffic
+	// flowing so new checkpoints form, and wait for the fresh machine
+	// to install one via state transfer.
+	fresh := ckptMachine(t, kc, victim, n, f, every)
+	wrapper.Swap(fresh)
+	net.Inject(testClient, victim, msg.Wakeup{Tag: "rejoin"})
+	inject(120, 240)
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := fresh.CompactionStats()
+		if st.TransfersReceived >= 1 && st.BaseLen >= 120 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	awaitDecidedLen(net, 0, 240, 60*time.Second)
+	net.Stop()
+
+	st := fresh.CompactionStats()
+	if st.TransfersReceived < 1 {
+		t.Fatalf("restarted replica never caught up via state transfer: %+v", st)
+	}
+	if st.BaseLen < 120 {
+		t.Fatalf("restarted replica's certified base (%d items) does not cover its missed history", st.BaseLen)
+	}
+	if fresh.Decided().Len() < int(st.BaseLen) {
+		t.Fatalf("restarted replica decided %d < base %d", fresh.Decided().Len(), st.BaseLen)
+	}
+	// The rejoined replica's view is comparable with the survivors'.
+	for i, m := range reps {
+		if !fresh.Decided().Comparable(m.Decided()) {
+			t.Fatalf("rejoined replica incomparable with replica %d", i)
+		}
+	}
+}

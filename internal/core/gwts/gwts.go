@@ -27,6 +27,7 @@ package gwts
 import (
 	"fmt"
 
+	"bgla/internal/compact"
 	"bgla/internal/core"
 	"bgla/internal/ident"
 	"bgla/internal/lattice"
@@ -79,6 +80,14 @@ type Config struct {
 	// MaxPendingConf caps buffered read-confirmation requests (0 = 1024).
 	MaxPendingConf int
 
+	// Compaction enables checkpointed history compaction (DESIGN.md §6):
+	// once the decided window crosses its thresholds the machine folds
+	// the decided prefix into a 2f+1-signed checkpoint certificate,
+	// rewrites its live sets as base + window, trims Ack_history and
+	// the decision log, and serves state transfer to lagging peers. The
+	// zero value (no thresholds) disables it.
+	Compaction compact.Config
+
 	// DisableRoundGate is an ABLATION switch (experiment E12c): the
 	// acceptor serves requests for any round instead of only r ≤ Safe_r,
 	// removing the §6.2 defense against round-racing Byzantine
@@ -126,10 +135,13 @@ type Machine struct {
 	// Acceptor state (Alg 4).
 	accepted lattice.Set
 	safeR    int
-	acked    map[string]bool // (dest,ts,round) ack broadcasts already emitted
+	acked    map[string]int // (dest,ts,round) ack broadcasts already emitted -> round
 
 	// Shared ack bookkeeping (Ack_history for both roles).
 	tally *core.AckTally
+
+	// Checkpoint compaction (nil when disabled).
+	ck *compact.Tracker
 
 	waiting  []pending
 	confs    []pendingConf
@@ -159,8 +171,9 @@ func NewUnchecked(cfg Config) *Machine {
 		svs:      core.NewRoundSVS(),
 		state:    NewRound,
 		r:        -1,
-		acked:    make(map[string]bool),
+		acked:    make(map[string]int),
 		tally:    core.NewAckTally(),
+		ck:       compact.NewTracker(cfg.Compaction),
 		pendingV: lattice.FromItems(cfg.InitialValues...),
 		inputs:   lattice.FromItems(cfg.InitialValues...),
 	}
@@ -179,7 +192,9 @@ func (m *Machine) Round() int { return m.r }
 // SafeRound returns the acceptor's Safe_r.
 func (m *Machine) SafeRound() int { return m.safeR }
 
-// Decisions returns the sequence of decisions so far.
+// Decisions returns the sequence of decisions so far. With compaction
+// enabled the log is trimmed to a recent window — the certified
+// checkpoint subsumes the prefix (see CompactionStats).
 func (m *Machine) Decisions() []lattice.Set { return m.decSeq }
 
 // Decided returns the latest decision (Decided_set).
@@ -239,6 +254,16 @@ func (m *Machine) Handle(from ident.ProcessID, in msg.Msg) []proto.Output {
 		return m.buffer(pending{kind: pendMsg, from: from, m: in})
 	case msg.CnfReq:
 		return m.onCnfReq(from, v)
+	case msg.CkptProp:
+		return m.onCkptProp(from, v)
+	case msg.CkptSig:
+		return m.onCkptSig(from, v)
+	case msg.CkptCert:
+		return m.onCkptCert(from, v)
+	case msg.StateReq:
+		return m.onStateReq(from, v)
+	case msg.StateRep:
+		return m.onStateRep(from, v)
 	case msg.Wakeup:
 		return nil
 	default:
@@ -390,10 +415,10 @@ func (m *Machine) acceptorOn(from ident.ProcessID, req msg.AckReq) []proto.Outpu
 	if m.accepted.SubsetOf(req.Proposed) {
 		m.accepted = req.Proposed
 		key := ackTag(from, req.TS, req.Round)
-		if m.acked[key] {
+		if _, dup := m.acked[key]; dup {
 			return nil // defensive: never reliable-broadcast the same tag twice
 		}
-		m.acked[key] = true
+		m.acked[key] = req.Round
 		return m.peer.Broadcast(key, msg.AckB{Accepted: m.accepted, Dest: from, TS: req.TS, Round: req.Round})
 	}
 	out := proto.Send(from, msg.Nack{Accepted: m.accepted, TS: req.TS, Round: req.Round})
@@ -414,6 +439,9 @@ func (m *Machine) onAckB(src ident.ProcessID, a msg.AckB) []proto.Output {
 	}
 	// Proposer side: try to decide the current round (Alg 3 lines 37-41).
 	outs = append(outs, m.tryDecide()...)
+	// Checkpoint plug-in: countersign proposals whose quorum evidence
+	// just arrived in Ack_history.
+	outs = append(outs, m.ckRetryPending()...)
 	// RSM plug-in (Alg 7): newly satisfied confirmations.
 	outs = append(outs, m.serveConfs()...)
 	return outs
@@ -446,8 +474,32 @@ func (m *Machine) tryDecide() []proto.Output {
 	for _, sub := range m.cfg.Subscribers {
 		outs = append(outs, proto.Send(sub, msg.Decide{Value: best, Round: m.r}))
 	}
+	// Checkpoint trigger: the freshly decided value is quorum-committed
+	// (it came out of an ack-quorum tally entry of this round), so it is
+	// a valid checkpoint candidate the moment the window crosses the
+	// configured thresholds.
+	if m.ck != nil {
+		m.trimDecSeq()
+		if m.ck.ShouldInitiate(m.decided) {
+			if prop, _, ok := m.ck.Initiate(m.decided, m.r); ok {
+				outs = append(outs, proto.Bcast(prop))
+			}
+		}
+	}
 	outs = append(outs, m.maybeStartNext()...)
 	return outs
+}
+
+// maxDecSeqCompacted bounds the retained decision log under
+// compaction: the prefix of the log is subsumed by the checkpoint
+// certificate, so only a recent window is kept (Decisions then returns
+// that window).
+const maxDecSeqCompacted = 16
+
+func (m *Machine) trimDecSeq() {
+	if len(m.decSeq) > maxDecSeqCompacted {
+		m.decSeq = append([]lattice.Set(nil), m.decSeq[len(m.decSeq)-maxDecSeqCompacted:]...)
+	}
 }
 
 // maybeStartNext starts round r+1 when there is a reason to: pending
@@ -480,10 +532,27 @@ func (m *Machine) onNack(n msg.Nack) []proto.Output {
 	return []proto.Output{proto.Bcast(msg.AckReq{Proposed: m.proposed, TS: m.ts, Round: m.r})}
 }
 
+// confirmable implements the Alg 7 check plus its compaction
+// extension: a value is confirmed when it appears quorum-many times in
+// Ack_history, or when it is exactly a certified checkpoint prefix —
+// the certificate is a transferable record of precisely that quorum,
+// surviving the Ack_history trim.
+func (m *Machine) confirmable(v lattice.Set) bool {
+	if m.tally.AnyQuorumValue(v, m.quorum) {
+		return true
+	}
+	if m.ck != nil {
+		if base := m.ck.Base(); base != nil && base.Digest() == v.Digest() {
+			return true
+		}
+	}
+	return false
+}
+
 // onCnfReq implements the RSM confirmation plug-in (Alg 7): reply once
 // the requested value appears quorum-many times in Ack_history.
 func (m *Machine) onCnfReq(from ident.ProcessID, req msg.CnfReq) []proto.Output {
-	if m.tally.AnyQuorumValue(req.Value, m.quorum) {
+	if m.confirmable(req.Value) {
 		return []proto.Output{proto.Send(from, msg.CnfRep{Value: req.Value})}
 	}
 	if len(m.confs) >= m.cfg.MaxPendingConf {
@@ -500,7 +569,7 @@ func (m *Machine) serveConfs() []proto.Output {
 	var outs []proto.Output
 	kept := m.confs[:0]
 	for _, c := range m.confs {
-		if m.tally.AnyQuorumValue(c.value, m.quorum) {
+		if m.confirmable(c.value) {
 			outs = append(outs, proto.Send(c.client, msg.CnfRep{Value: c.value}))
 			continue
 		}

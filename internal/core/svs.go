@@ -77,13 +77,13 @@ func (rs *RoundSVS) grow(round int) {
 }
 
 // Add records discloser's round-r value; false on duplicate (same
-// discloser, same round).
+// discloser, same round) or on a round frozen by Trim.
 func (rs *RoundSVS) Add(round int, discloser ident.ProcessID, v lattice.Set) bool {
 	if round < 0 {
 		return false
 	}
 	rs.grow(round)
-	if !rs.rounds[round].Add(discloser, v) {
+	if rs.rounds[round] == nil || !rs.rounds[round].Add(discloser, v) {
 		return false
 	}
 	for r := round; r < len(rs.cum); r++ {
@@ -94,10 +94,77 @@ func (rs *RoundSVS) Add(round int, discloser ident.ProcessID, v lattice.Set) boo
 
 // Count returns the number of disclosers in round r (Counter[r]).
 func (rs *RoundSVS) Count(round int) int {
-	if round < 0 || round >= len(rs.rounds) {
+	if round < 0 || round >= len(rs.rounds) || rs.rounds[round] == nil {
 		return 0
 	}
 	return rs.rounds[round].Count()
+}
+
+// Seed injects a checkpoint-certified value into every cumulative safe
+// universe (internal/compact): the certificate proves the value is
+// quorum-committed, i.e. accepted by ≥ f+1 correct acceptors whose
+// SAFEA guards had already covered it, so treating it as disclosed is
+// exactly the Lemma 12 filtering transferred by proof instead of by
+// replayed disclosures. A lagging replica that missed the original
+// disclosure broadcasts becomes able to process messages over the
+// certified prefix.
+func (rs *RoundSVS) Seed(round int, v lattice.Set) {
+	if round < 0 {
+		round = 0
+	}
+	rs.grow(round)
+	// Trimmed prefixes alias one shared universe (Compact), so dedupe
+	// by digest: the union is computed once per distinct value, keeping
+	// Seed proportional to the active rounds, not the round count.
+	var lastIn, lastOut lattice.Set
+	first := true
+	for r := range rs.cum {
+		if !first && rs.cum[r].Digest() == lastIn.Digest() {
+			rs.cum[r] = lastOut
+			continue
+		}
+		lastIn = rs.cum[r]
+		rs.cum[r] = rs.cum[r].Union(v)
+		lastOut = rs.cum[r]
+		first = false
+	}
+}
+
+// Compact re-anchors the cumulative universes on a certified base
+// (pure representation change — digests are preserved) and freezes
+// rounds before the cutoff: their disclosure maps are dropped and
+// their universes alias the cutoff's, which is sound for the
+// uniformly-used SAFEA predicate because safety is monotone in the
+// universe (DESIGN.md §2 note 1).
+func (rs *RoundSVS) Compact(before int, base *lattice.Base) {
+	cut := before
+	if cut > len(rs.cum) {
+		cut = len(rs.cum)
+	}
+	for r := 0; r < cut; r++ {
+		rs.rounds[r] = nil
+		if r < cut-1 {
+			rs.cum[r] = rs.cum[cut-1]
+		}
+	}
+	if base == nil {
+		return
+	}
+	// Digest-deduped like Seed: aliased prefixes rebase once.
+	var lastIn, lastOut lattice.Set
+	first := true
+	for r := range rs.cum {
+		if !first && rs.cum[r].Digest() == lastIn.Digest() {
+			rs.cum[r] = lastOut
+			continue
+		}
+		lastIn = rs.cum[r]
+		if nb, ok := rs.cum[r].Rebase(base); ok {
+			rs.cum[r] = nb
+		}
+		lastOut = rs.cum[r]
+		first = false
+	}
 }
 
 // SafeAt implements SAFE() at round r: element ⊆ ⋃_{r'≤r} SvS[r'].

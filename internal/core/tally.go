@@ -107,6 +107,56 @@ func (t *AckTally) RoundReached(round, quorum int) bool {
 	return false
 }
 
+// QuorumValueAt returns the value with the given content digest that
+// reached the quorum in the given round (any dest/ts tuple). It backs
+// checkpoint countersigning (internal/compact): a replica only signs a
+// prefix its own Ack_history shows quorum-committed at that round.
+func (t *AckTally) QuorumValueAt(dig lattice.Digest, round, quorum int) (lattice.Set, bool) {
+	for k, s := range t.senders {
+		if k.Dig == dig && k.Round == round && s.Len() >= quorum {
+			return t.values[k], true
+		}
+	}
+	return lattice.Set{}, false
+}
+
+// ValueByDigest returns any recorded value with the given content
+// digest (checkpoint-certificate resolution: the cert itself carries
+// the trust, the tally merely supplies the items, and the caller
+// re-verifies the digest).
+func (t *AckTally) ValueByDigest(dig lattice.Digest) (lattice.Set, bool) {
+	for k, v := range t.values {
+		if k.Dig == dig {
+			return v, true
+		}
+	}
+	return lattice.Set{}, false
+}
+
+// Trim drops every tuple of rounds before the cutoff, freeing the
+// history-sized sets they pin. Checkpoint compaction calls it with a
+// small margin behind the certificate round so in-flight read
+// confirmations over recent tuples keep resolving.
+func (t *AckTally) Trim(before int) {
+	for k := range t.senders {
+		if k.Round < before {
+			delete(t.senders, k)
+			delete(t.values, k)
+		}
+	}
+}
+
+// Rebase re-anchors retained tuple values on a certified base where
+// the base is contained (pure representation change; digests and
+// counts are untouched).
+func (t *AckTally) Rebase(base *lattice.Base) {
+	for k, v := range t.values {
+		if nb, ok := v.Rebase(base); ok {
+			t.values[k] = nb
+		}
+	}
+}
+
 func sortEntries(es []QuorumEntry) {
 	for i := 1; i < len(es); i++ {
 		for j := i; j > 0 && es[j].Key.String() < es[j-1].Key.String(); j-- {

@@ -1,0 +1,382 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bgla"
+	"bgla/internal/chanet"
+	"bgla/internal/compact"
+	"bgla/internal/core/gwts"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+	"bgla/internal/sig"
+)
+
+// E18 — checkpointed history compaction. Accepted_set/Decided_set grow
+// monotonically with history, so without compaction every agreement
+// round folds, compares and retains O(history) state: per-round
+// latency grows linearly with the commands ever decided and resident
+// memory with their square (the decision log alone pins every decision
+// value). internal/compact folds the stable decided prefix into a
+// 2f+1-signed checkpoint certificate; live sets become "certified base
+// + O(window) frontier", so late-history rounds cost the same as early
+// ones and resident state tracks the window, not the history.
+//
+// The experiment drives identical fixed-granularity update waves
+// (MinBatch=MaxBatch group commit, one in-flight proposal) through a
+// live Service with one mute Byzantine replica, compaction ON vs OFF,
+// to history ≥ 10k commands on the full sweep, and reports per-wave
+// decided-ops latency for the early vs late deciles plus resident heap
+// after the run. A second scenario kills a replica mid-run, restarts
+// it empty, and requires it to reach the current view via checkpoint
+// state transfer — with a mute Byzantine replica present — rather than
+// by replaying history (the disclosure broadcasts from its downtime
+// are gone for good).
+
+// CompactBenchRow is one measured configuration (compaction on or off).
+type CompactBenchRow struct {
+	Mode            string  `json:"mode"` // "compact" or "unbounded"
+	CheckpointEvery int     `json:"checkpoint_every"`
+	History         int     `json:"history"`
+	Waves           int     `json:"waves"`
+	WaveOps         int     `json:"wave_ops"`
+	EarlyMS         float64 `json:"early_wave_ms"`
+	LateMS          float64 `json:"late_wave_ms"`
+	// LateOverEarly is the flatness ratio: late-decile mean wave
+	// latency over early-decile mean.
+	LateOverEarly float64 `json:"late_over_early"`
+	HeapMB        float64 `json:"heap_mb_after_gc"`
+	Installs      int64   `json:"installs"`
+	MaxBaseLen    int64   `json:"max_base_len"`
+}
+
+// CatchUpResult is the restart/state-transfer scenario.
+type CatchUpResult struct {
+	Replicas          int   `json:"replicas,omitempty"`
+	Faulty            int   `json:"faulty,omitempty"`
+	MissedWhileDown   int   `json:"missed_while_down"`
+	TransfersReceived int64 `json:"transfers_received"`
+	BaseLenAtCatchUp  int64 `json:"base_len_at_catch_up"`
+	DecidedLen        int   `json:"decided_len"`
+	CaughtUp          bool  `json:"caught_up_via_state_transfer"`
+}
+
+// CompactBenchReport aggregates E18; cmd/bglabench serializes it to
+// BENCH_compact.json so the flat-latency property is tracked across
+// PRs.
+type CompactBenchReport struct {
+	Experiment      string            `json:"experiment"`
+	Replicas        int               `json:"replicas"`
+	Faulty          int               `json:"faulty"`
+	MuteReplicas    []int             `json:"mute_replicas"`
+	CheckpointEvery int               `json:"checkpoint_every"`
+	Rows            []CompactBenchRow `json:"rows"`
+	CatchUp         CatchUpResult     `json:"catch_up"`
+	// FlatRatioOn must stay within FlatThreshold (1.5 on the full
+	// sweep; 2.5 on the quick smoke, whose short histories and noisy
+	// shared runners leave thin margins); GrowthRatioOff is the same
+	// ratio with compaction off, expected to exceed it measurably on
+	// the full sweep.
+	FlatRatioOn    float64 `json:"flat_ratio_compact"`
+	GrowthRatioOff float64 `json:"growth_ratio_unbounded"`
+	FlatThreshold  float64 `json:"flat_threshold"`
+	PassFlat       bool    `json:"pass_flat_latency"`
+	PassTransfer   bool    `json:"pass_state_transfer"`
+}
+
+// JSON renders the report (indented, trailing newline).
+func (r *CompactBenchReport) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // static struct: cannot fail
+	}
+	return append(out, '\n')
+}
+
+// runCompactMode measures one mode under the fixed-granularity wave
+// workload.
+func runCompactMode(every, waves, waveOps int, mutes []int) (CompactBenchRow, error) {
+	mode := "compact"
+	if every == 0 {
+		mode = "unbounded"
+	}
+	row := CompactBenchRow{
+		Mode: mode, CheckpointEvery: every,
+		History: waves * waveOps, Waves: waves, WaveOps: waveOps,
+	}
+	svc, err := bgla.NewService(bgla.ServiceConfig{
+		Replicas: 4, Faulty: 1, MuteReplicas: mutes, Seed: 1,
+		// Fixed agreement granularity: every wave is one group-committed
+		// proposal, so per-wave latency is per-round latency and the
+		// on/off comparison isolates what compaction removes — the
+		// O(history) per-round state.
+		MaxBatch: waveOps, MinBatch: waveOps, MaxInFlight: 1,
+		MaxBatchDelay:   50 * time.Millisecond,
+		CheckpointEvery: every,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer svc.Close()
+
+	waveMS := make([]float64, waves)
+	for w := 0; w < waves; w++ {
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, waveOps)
+		for k := 0; k < waveOps; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				errs <- svc.Update(bgla.AddCmd(fmt.Sprintf("w%04d-%02d", w, k)))
+			}(k)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return row, fmt.Errorf("%s wave %d: %w", mode, w, err)
+			}
+		}
+		waveMS[w] = float64(time.Since(start)) / float64(time.Millisecond)
+	}
+
+	decile := waves / 10
+	if decile < 2 {
+		decile = 2
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	// Skip the very first wave (cold pipeline) when the run is long
+	// enough to afford it.
+	earlyFrom := 1
+	if waves <= decile+1 {
+		earlyFrom = 0
+	}
+	row.EarlyMS = mean(waveMS[earlyFrom : earlyFrom+decile])
+	row.LateMS = mean(waveMS[waves-decile:])
+	if row.EarlyMS > 0 {
+		row.LateOverEarly = row.LateMS / row.EarlyMS
+	}
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	row.HeapMB = float64(ms.HeapAlloc) / (1 << 20)
+
+	cs := svc.CompactionStats()
+	row.Installs = cs.Installs
+	row.MaxBaseLen = cs.MaxBaseLen
+	if every > 0 && cs.Installs == 0 {
+		return row, fmt.Errorf("compaction enabled (every=%d, history=%d) but no checkpoint installed", every, row.History)
+	}
+	return row, nil
+}
+
+// runCatchUp runs the restart scenario on a raw GWTS cluster (n=7,
+// f=2): one permanently mute Byzantine replica plus one replica that
+// crashes, loses all state, restarts and must catch up via checkpoint
+// state transfer while traffic keeps flowing.
+func runCatchUp(every, phase int) (CatchUpResult, error) {
+	const n, f = 7, 2
+	out := CatchUpResult{Replicas: n, Faulty: f, MissedWhileDown: phase}
+	kc := sig.NewSim(n, 21)
+	client := ident.ProcessID(1000)
+	mkMachine := func(id ident.ProcessID) (*gwts.Machine, error) {
+		return gwts.New(gwts.Config{
+			Self: id, N: n, F: f,
+			Compaction: compact.Config{
+				Self: id, N: n, F: f,
+				Keychain: kc, Signer: kc.SignerFor(id),
+				Every: every,
+			},
+		})
+	}
+	var machines []proto.Machine
+	var live []*gwts.Machine
+	for i := 0; i < n-2; i++ {
+		m, err := mkMachine(ident.ProcessID(i))
+		if err != nil {
+			return out, err
+		}
+		live = append(live, m)
+		machines = append(machines, m)
+	}
+	victimID := ident.ProcessID(n - 2)
+	victim0, err := mkMachine(victimID)
+	if err != nil {
+		return out, err
+	}
+	wrapper := compact.NewRestartable(victim0)
+	machines = append(machines, wrapper)
+	// Replica n-1 is a mute Byzantine process for the whole run.
+	machines = append(machines, &muteProc{id: ident.ProcessID(n - 1)})
+	net := chanet.New(machines, chanet.Options{Seed: 17})
+	net.Start()
+	defer net.Stop()
+
+	inject := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			cmd := lattice.Item{Author: client, Body: fmt.Sprintf("cu-%05d", k)}
+			net.Inject(client, ident.ProcessID(k%(f+1)), msg.NewValue{Cmd: cmd})
+		}
+	}
+	await := func(target int) bool {
+		deadline := time.Now().Add(60 * time.Second)
+		high, idle := 0, 0
+		for high < target && idle < 200 && time.Now().Before(deadline) {
+			got := net.AwaitEvents(1, 50*time.Millisecond, func(e proto.Event) bool {
+				d, ok := e.(proto.DecideEvent)
+				if !ok || d.Proc != 0 {
+					return false
+				}
+				if d.Value.Len() > high {
+					high = d.Value.Len()
+				}
+				return true
+			})
+			if got == 0 {
+				idle++
+			} else {
+				idle = 0
+			}
+		}
+		return high >= target
+	}
+
+	inject(0, phase)
+	if !await(phase) {
+		return out, fmt.Errorf("catch-up phase 1 stalled")
+	}
+	wrapper.Crash()
+	inject(phase, 2*phase)
+	if !await(2 * phase) {
+		return out, fmt.Errorf("catch-up phase 2 stalled (cluster must survive crash+mute)")
+	}
+	fresh, err := mkMachine(victimID)
+	if err != nil {
+		return out, err
+	}
+	wrapper.Swap(fresh)
+	net.Inject(client, victimID, msg.Wakeup{Tag: "rejoin"})
+	inject(2*phase, 3*phase)
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := fresh.CompactionStats()
+		if st.TransfersReceived >= 1 && st.BaseLen >= int64(2*phase) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	await(3 * phase)
+	net.Stop() // idempotent: quiesce before reading machine state
+
+	st := fresh.CompactionStats()
+	out.TransfersReceived = st.TransfersReceived
+	out.BaseLenAtCatchUp = st.BaseLen
+	out.DecidedLen = fresh.Decided().Len()
+	out.CaughtUp = st.TransfersReceived >= 1 && st.BaseLen >= int64(2*phase)
+	return out, nil
+}
+
+// muteProc is a permanently silent Byzantine replica.
+type muteProc struct {
+	proto.Recorder
+	id ident.ProcessID
+}
+
+func (m *muteProc) ID() ident.ProcessID                            { return m.id }
+func (m *muteProc) Start() []proto.Output                          { return nil }
+func (m *muteProc) Handle(ident.ProcessID, msg.Msg) []proto.Output { return nil }
+
+// CompactionReport (E18) measures flat per-round latency and resident
+// state under checkpointed compaction, against the unbounded-history
+// build, plus the restart/state-transfer scenario.
+func CompactionReport(quick bool) (*CompactBenchReport, error) {
+	waves, waveOps, every, catchPhase := 160, 64, 512, 400
+	flatThreshold := 1.5
+	if quick {
+		waves, catchPhase = 48, 150
+		flatThreshold = 2.5
+	}
+	if raceEnabled {
+		// The race detector's slowdown makes the full history
+		// unaffordable; a micro sweep still exercises the whole path.
+		waves, catchPhase = 16, 60
+		flatThreshold = 4
+	}
+	rep := &CompactBenchReport{
+		Experiment:      "checkpointed history compaction — flat per-round latency + state transfer",
+		Replicas:        4,
+		Faulty:          1,
+		MuteReplicas:    []int{3},
+		CheckpointEvery: every,
+	}
+	on, err := runCompactMode(every, waves, waveOps, rep.MuteReplicas)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, on)
+	off, err := runCompactMode(0, waves, waveOps, rep.MuteReplicas)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, off)
+	rep.FlatRatioOn = on.LateOverEarly
+	rep.GrowthRatioOff = off.LateOverEarly
+	rep.FlatThreshold = flatThreshold
+	rep.PassFlat = rep.FlatRatioOn <= flatThreshold
+
+	cu, err := runCatchUp(every/4, catchPhase)
+	if err != nil {
+		return nil, err
+	}
+	rep.CatchUp = cu
+	rep.PassTransfer = cu.CaughtUp
+	return rep, nil
+}
+
+// Table renders the report as the E18 experiment table.
+func (r *CompactBenchReport) Table() *Table {
+	t := &Table{
+		ID:      "E18",
+		Title:   "checkpointed history compaction — per-round latency flat at 10k+ history",
+		Columns: []string{"mode", "history", "early ms", "late ms", "late/early", "heap MB", "installs", "base len"},
+		Pass:    r.PassFlat && r.PassTransfer,
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Mode, row.History, row.EarlyMS, row.LateMS, row.LateOverEarly,
+			row.HeapMB, row.Installs, row.MaxBaseLen)
+	}
+	t.Note("one mute Byzantine replica; fixed group-commit granularity (MinBatch=MaxBatch, one in-flight)")
+	t.Note("pass requires late/early <= %.1f with compaction on, and the restarted replica catching up via state transfer", r.FlatThreshold)
+	t.Note("catch-up: missed=%d transfers=%d base=%d caught_up=%v",
+		r.CatchUp.MissedWhileDown, r.CatchUp.TransfersReceived, r.CatchUp.BaseLenAtCatchUp, r.CatchUp.CaughtUp)
+	return t
+}
+
+// Compaction (E18) is the Table-producing wrapper used by All.
+func Compaction(quick bool) *Table {
+	rep, err := CompactionReport(quick)
+	if err != nil {
+		t := &Table{
+			ID:      "E18",
+			Title:   "checkpointed history compaction — per-round latency flat at 10k+ history",
+			Columns: []string{"error"},
+		}
+		t.AddRow(err.Error())
+		return t
+	}
+	return rep.Table()
+}

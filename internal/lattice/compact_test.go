@@ -1,0 +1,215 @@
+package lattice
+
+import (
+	"fmt"
+	"testing"
+)
+
+func seqSet(author int, lo, hi int) Set {
+	var items []Item
+	for i := lo; i < hi; i++ {
+		items = append(items, Item{Author: 1, Body: fmt.Sprintf("a%04d-%d", i, author)})
+	}
+	return FromItems(items...)
+}
+
+// TestItemsAliasing is the regression test for the Items() aliasing
+// bug: callers mutating the returned slice must not corrupt the set's
+// digest invariant.
+func TestItemsAliasing(t *testing.T) {
+	s := FromStrings(1, "a", "b", "c")
+	want := s.Digest()
+	items := s.Items()
+	for i := range items {
+		items[i].Body = "mutated"
+	}
+	if s.Digest() != want {
+		t.Fatal("mutating Items() result changed the set digest")
+	}
+	if got := FromItems(s.Items()...); !got.Equal(s) {
+		t.Fatalf("set content corrupted by caller mutation: %v != %v", got, s)
+	}
+	// Window must be a copy too.
+	w := s.Window()
+	if len(w) > 0 {
+		w[0].Body = "mutated"
+		if got := FromItems(s.Items()...); !got.Equal(s) {
+			t.Fatal("mutating Window() result corrupted the set")
+		}
+	}
+}
+
+func TestRebasePreservesSemantics(t *testing.T) {
+	full := seqSet(0, 0, 100)
+	prefix := seqSet(0, 0, 60)
+	base := NewBase(prefix)
+
+	rb, ok := full.Rebase(base)
+	if !ok {
+		t.Fatal("rebase of a superset must succeed")
+	}
+	if rb.Digest() != full.Digest() {
+		t.Fatal("rebase changed the digest")
+	}
+	if rb.Len() != full.Len() {
+		t.Fatalf("rebase changed Len: %d != %d", rb.Len(), full.Len())
+	}
+	if rb.WindowLen() != 40 {
+		t.Fatalf("window = %d items, want 40", rb.WindowLen())
+	}
+	if !rb.Equal(full) || !rb.SubsetOf(full) || !full.SubsetOf(rb) {
+		t.Fatal("rebase broke Equal/SubsetOf against the flat form")
+	}
+	if got := FromItems(rb.Items()...); !got.Equal(full) {
+		t.Fatal("Items() of a compacted set must enumerate base + window")
+	}
+	// Rebase of a non-superset must fail.
+	if _, ok := seqSet(0, 0, 10).Rebase(base); ok {
+		t.Fatal("rebase must refuse when base ⊄ set")
+	}
+}
+
+func TestCompactedUnionSameBase(t *testing.T) {
+	prefix := seqSet(0, 0, 50)
+	base1 := NewBase(prefix)
+	base2 := NewBase(prefix) // distinct pointer, same content
+
+	a, _ := seqSet(0, 0, 70).Rebase(base1)
+	b, _ := seqSet(0, 0, 60).Union(seqSet(0, 80, 90)).Rebase(base2)
+
+	u := a.Union(b)
+	wantFlat := seqSet(0, 0, 70).Union(seqSet(0, 80, 90))
+	if !u.Equal(wantFlat) || u.Digest() != wantFlat.Digest() {
+		t.Fatalf("same-base-content union wrong: %d items, want %d", u.Len(), wantFlat.Len())
+	}
+	if _, _, ok := u.BaseInfo(); !ok {
+		t.Fatal("same-base union should stay anchored")
+	}
+	if !a.SubsetOf(u) || !b.SubsetOf(u) {
+		t.Fatal("operands must be subsets of their union")
+	}
+}
+
+func TestCompactedMixedRepresentations(t *testing.T) {
+	full := seqSet(0, 0, 100)
+	base := NewBase(seqSet(0, 0, 60))
+	anchored, _ := full.Rebase(base)
+
+	flatExtra := seqSet(0, 40, 120) // overlaps base AND window, extends both
+	u := anchored.Union(flatExtra)
+	want := seqSet(0, 0, 120)
+	if !u.Equal(want) {
+		t.Fatalf("mixed union wrong: len %d want %d", u.Len(), want.Len())
+	}
+	// Flat ∪ anchored (other operand order) must agree.
+	u2 := flatExtra.Union(anchored)
+	if !u2.Equal(want) || u2.Digest() != u.Digest() {
+		t.Fatal("union not commutative across representations")
+	}
+
+	// Subset checks across representations.
+	if !seqSet(0, 10, 20).SubsetOf(anchored) {
+		t.Fatal("flat ⊆ anchored failed")
+	}
+	if !anchored.SubsetOf(want) {
+		t.Fatal("anchored ⊆ flat failed")
+	}
+	if anchored.SubsetOf(seqSet(0, 0, 99)) {
+		t.Fatal("anchored ⊆ smaller flat must fail")
+	}
+	if seqSet(0, 200, 201).SubsetOf(anchored) {
+		t.Fatal("disjoint flat ⊆ anchored must fail")
+	}
+
+	// Contains across the base boundary.
+	if !anchored.Contains(Item{Author: 1, Body: "a0005-0"}) {
+		t.Fatal("Contains must see base items")
+	}
+	if !anchored.Contains(Item{Author: 1, Body: "a0095-0"}) {
+		t.Fatal("Contains must see window items")
+	}
+}
+
+func TestCompactedDifferentBases(t *testing.T) {
+	baseOld := NewBase(seqSet(0, 0, 30))
+	baseNew := NewBase(seqSet(0, 0, 60))
+
+	a, _ := seqSet(0, 0, 80).Rebase(baseNew)
+	b, _ := seqSet(0, 0, 40).Union(seqSet(0, 90, 95)).Rebase(baseOld)
+
+	u := a.Union(b)
+	want := seqSet(0, 0, 80).Union(seqSet(0, 90, 95))
+	if !u.Equal(want) {
+		t.Fatalf("cross-base union wrong: len %d want %d", u.Len(), want.Len())
+	}
+	dig, n, ok := u.BaseInfo()
+	if !ok || dig != baseNew.Digest() || n != baseNew.Len() {
+		t.Fatal("cross-base union must anchor on the deeper base")
+	}
+	if !b.SubsetOf(u) || !a.SubsetOf(u) {
+		t.Fatal("cross-base union lost items")
+	}
+}
+
+func TestCompactedMinusDeltaJSON(t *testing.T) {
+	base := NewBase(seqSet(0, 0, 50))
+	anchored, _ := seqSet(0, 0, 70).Rebase(base)
+	flat := seqSet(0, 0, 70)
+
+	if d := anchored.Minus(seqSet(0, 0, 65)); len(d) != 5 {
+		t.Fatalf("anchored Minus = %d items, want 5", len(d))
+	}
+	items, bd, ok := anchored.Delta(seqSet(0, 0, 60))
+	if !ok || len(items) != 10 || bd != seqSet(0, 0, 60).Digest() {
+		t.Fatal("Delta over anchored set wrong")
+	}
+	if got := ApplyDelta(seqSet(0, 0, 60), items); !got.Equal(flat) {
+		t.Fatal("ApplyDelta did not reconstruct")
+	}
+
+	raw, err := anchored.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := back.UnmarshalJSON(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(flat) || back.Digest() != anchored.Digest() {
+		t.Fatal("JSON round trip of an anchored set must yield the flat value")
+	}
+}
+
+// TestDigestAdditivity pins the accumulator identity the compacted
+// representation rests on: a set rebased onto a disjoint base keeps
+// the digest of the flat union.
+func TestDigestAdditivity(t *testing.T) {
+	a, b := seqSet(0, 0, 10), seqSet(0, 10, 20)
+	u := a.Union(b)
+	rb, ok := u.Rebase(NewBase(a))
+	if !ok || rb.Digest() != u.Digest() {
+		t.Fatal("rebase onto a disjoint prefix must preserve the union digest")
+	}
+}
+
+func TestEachMatchesItems(t *testing.T) {
+	base := NewBase(seqSet(0, 0, 5))
+	s, _ := seqSet(0, 0, 9).Rebase(base)
+	var got []Item
+	s.Each(func(it Item) bool { got = append(got, it); return true })
+	want := s.Items()
+	if len(got) != len(want) {
+		t.Fatalf("Each yielded %d items, Items %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Each order mismatch at %d", i)
+		}
+	}
+	// Early stop.
+	n := 0
+	s.Each(func(Item) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("Each ignored early stop: %d", n)
+	}
+}

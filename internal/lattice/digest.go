@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 )
 
@@ -38,6 +39,25 @@ func (d *Digest) add(h [32]byte) {
 
 // Hex renders the digest as 64 lowercase hex characters.
 func (d Digest) Hex() string { return hex.EncodeToString(d[:]) }
+
+// MarshalJSON encodes the digest as its hex string (compact and
+// readable on the wire; [32]byte would otherwise marshal as a 32-entry
+// number array).
+func (d Digest) MarshalJSON() ([]byte, error) { return json.Marshal(d.Hex()) }
+
+// UnmarshalJSON decodes the MarshalJSON representation.
+func (d *Digest) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseDigest(s)
+	if err != nil {
+		return err
+	}
+	*d = parsed
+	return nil
+}
 
 // Short renders the first 8 hex characters (log/event labels).
 func (d Digest) Short() string { return hex.EncodeToString(d[:4]) }

@@ -204,14 +204,15 @@ func (LWW) Equal(a, b LWWReg) bool { return a == b }
 // that are "not an element of the lattice" (§7.2, Lemma 12).
 func FoldSet[E any](l Lattice[E], s Set, decode func(string) (E, bool)) (out E, skipped int) {
 	out = l.Bottom()
-	for _, it := range s.Items() {
+	s.Each(func(it Item) bool {
 		e, ok := decode(it.Body)
 		if !ok {
 			skipped++
-			continue
+			return true
 		}
 		out = l.Join(out, e)
-	}
+		return true
+	})
 	return out, skipped
 }
 

@@ -1,9 +1,3 @@
-// Package lattice implements the join-semilattice substrate of the
-// paper's model (§3.1): values form a join semilattice L = (V, ⊕).
-// Protocols operate on the canonical semilattice of sets with union as
-// join; the paper notes every join semilattice is isomorphic to such a
-// set lattice, and the generic Lattice interface in this package lets
-// applications plug arbitrary joins on top of the set transport.
 package lattice
 
 import (
@@ -43,9 +37,55 @@ func (a Item) String() string { return a.Author.String() + ":" + a.Body }
 // maintained incrementally by Union (joining d new items costs O(d)
 // hash work), so identity operations — Key, Equal, map lookups, wire
 // base references — are O(1) regardless of how large the set has grown.
+//
+// A Set may additionally be *compacted*: anchored on a shared *Base (a
+// certified checkpoint prefix), it stores only the window of items
+// beyond the base. The logical value is base ∪ window, the Digest is
+// the digest of that logical value (representation-independent), and
+// operations between two sets anchored on the same base content run on
+// the windows alone — O(window) instead of O(history). Mixed-
+// representation operations fall back to a full merge over both
+// logical item sequences, which stays correct because the base carries
+// its items. See internal/compact and DESIGN.md §6.
 type Set struct {
-	items []Item // sorted by Item.Less, no duplicates
-	dig   Digest // accumulator over items; zero for ⊥
+	items []Item // window items: sorted by Item.Less, no duplicates, disjoint from base
+	dig   Digest // accumulator over base ∪ items; zero for ⊥
+	base  *Base  // optional certified prefix (nil = flat set)
+}
+
+// Base is an immutable certified prefix shared (by pointer) between
+// many compacted Sets. It holds the prefix as a flat Set so that
+// mixed-representation operations and state transfer can always reach
+// the underlying items.
+type Base struct {
+	set Set // flat: set.base == nil
+}
+
+// NewBase freezes s (flattened) as a shareable prefix.
+func NewBase(s Set) *Base { return &Base{set: s.Flatten()} }
+
+// Set returns the prefix as a flat Set (zero Set for a nil base).
+func (b *Base) Set() Set {
+	if b == nil {
+		return Set{}
+	}
+	return b.set
+}
+
+// Len returns the prefix size (0 for nil).
+func (b *Base) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.set.items)
+}
+
+// Digest returns the prefix content digest (EmptyDigest for nil).
+func (b *Base) Digest() Digest {
+	if b == nil {
+		return EmptyDigest
+	}
+	return b.set.dig
 }
 
 // Empty returns ⊥.
@@ -84,23 +124,132 @@ func FromStrings(author ident.ProcessID, bodies ...string) Set {
 	return FromItems(items...)
 }
 
-// Len returns |s|.
-func (s Set) Len() int { return len(s.items) }
+// Len returns |s| (base plus window).
+func (s Set) Len() int { return len(s.items) + s.base.Len() }
 
 // IsEmpty reports s == ⊥.
-func (s Set) IsEmpty() bool { return len(s.items) == 0 }
+func (s Set) IsEmpty() bool { return s.Len() == 0 }
 
-// Items returns the items in canonical order. The returned slice must
-// not be mutated.
-func (s Set) Items() []Item { return s.items }
+// Items returns the items in canonical order. The returned slice is a
+// fresh copy — mutating it cannot corrupt the set's digest invariant.
+// Prefer Each to iterate without the allocation.
+func (s Set) Items() []Item {
+	if s.base == nil {
+		out := make([]Item, len(s.items))
+		copy(out, s.items)
+		return out
+	}
+	return mergeItems(s.base.set.items, s.items)
+}
+
+// Each calls fn for every item in canonical order until fn returns
+// false. It never allocates, which makes it the right shape for hot
+// fold paths (CRDT views, nop stripping) now that Items copies.
+func (s Set) Each(fn func(Item) bool) {
+	it := s.iter()
+	for {
+		v, ok := it.next()
+		if !ok {
+			return
+		}
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// iter walks the logical item sequence (base merged with window).
+type itemIter struct {
+	a, b []Item
+	i, j int
+}
+
+func (s Set) iter() itemIter {
+	if s.base == nil {
+		return itemIter{b: s.items}
+	}
+	return itemIter{a: s.base.set.items, b: s.items}
+}
+
+func (it *itemIter) next() (Item, bool) {
+	switch {
+	case it.i < len(it.a) && it.j < len(it.b):
+		x, y := it.a[it.i], it.b[it.j]
+		if x == y { // defensive: base and window are disjoint by invariant
+			it.i++
+			it.j++
+			return x, true
+		}
+		if x.Less(y) {
+			it.i++
+			return x, true
+		}
+		it.j++
+		return y, true
+	case it.i < len(it.a):
+		x := it.a[it.i]
+		it.i++
+		return x, true
+	case it.j < len(it.b):
+		y := it.b[it.j]
+		it.j++
+		return y, true
+	default:
+		return Item{}, false
+	}
+}
+
+// mergeItems merges two sorted duplicate-free slices into a fresh one.
+func mergeItems(a, b []Item) []Item {
+	out := make([]Item, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		switch {
+		case x == y:
+			out = append(out, x)
+			i++
+			j++
+		case x.Less(y):
+			out = append(out, x)
+			i++
+		default:
+			out = append(out, y)
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// containsSorted reports it ∈ items via binary search.
+func containsSorted(items []Item, it Item) bool {
+	i := sort.Search(len(items), func(i int) bool { return !items[i].Less(it) })
+	return i < len(items) && items[i] == it
+}
 
 // Contains reports it ∈ s.
 func (s Set) Contains(it Item) bool {
-	i := sort.Search(len(s.items), func(i int) bool { return !s.items[i].Less(it) })
-	return i < len(s.items) && s.items[i] == it
+	if containsSorted(s.items, it) {
+		return true
+	}
+	return s.base != nil && containsSorted(s.base.set.items, it)
 }
 
-// Union returns s ⊕ t (set union), the lattice join.
+// sameBase reports whether two sets are anchored on the same prefix
+// content (pointer identity or equal base digests): their windows are
+// then both disjoint from the identical base, so window-only operations
+// are exact.
+func sameBase(s, t Set) bool {
+	if s.base == t.base {
+		return s.base != nil
+	}
+	return s.base != nil && t.base != nil && s.base.set.dig == t.base.set.dig
+}
+
+// Union returns s ⊕ t (set union), the lattice join. When both sides
+// share a base the join runs on the windows alone.
 func (s Set) Union(t Set) Set {
 	if s.IsEmpty() {
 		return t
@@ -115,57 +264,149 @@ func (s Set) Union(t Set) Set {
 	if s.SubsetOf(t) {
 		return t
 	}
-	out := make([]Item, 0, len(s.items)+len(t.items))
-	// The digest is maintained incrementally: start from s's accumulator
-	// and fold in only the items t contributes, so the hash work of a
-	// join is proportional to the delta, not to the merged size.
-	dig := s.dig
+	if sameBase(s, t) {
+		items, dig := unionWindows(s.items, t.items, s.dig)
+		return Set{items: items, dig: dig, base: s.base}
+	}
+	if s.base != nil || t.base != nil {
+		// Anchor the result on the deeper base; the other side's items
+		// beyond that base form an ordinary window contribution.
+		a, b := s, t
+		if b.base.Len() > a.base.Len() {
+			a, b = b, a
+		}
+		w := b.windowBeyond(a.base) // items of b outside a's base
+		items, dig := unionWindows(a.items, w, a.dig)
+		return Set{items: items, dig: dig, base: a.base}
+	}
+	items, dig := unionWindows(s.items, t.items, s.dig)
+	return Set{items: items, dig: dig}
+}
+
+// unionWindows merges two sorted, duplicate-free slices that are both
+// disjoint from the same (possibly empty) base. The digest is
+// maintained incrementally: start from the accumulator covering a and
+// fold in only the items b contributes, so the hash work of a join is
+// proportional to the delta, not to the merged size.
+func unionWindows(a, b []Item, aDig Digest) ([]Item, Digest) {
+	out := make([]Item, 0, len(a)+len(b))
+	dig := aDig
 	i, j := 0, 0
-	for i < len(s.items) && j < len(t.items) {
-		a, b := s.items[i], t.items[j]
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
 		switch {
-		case a == b:
-			out = append(out, a)
+		case x == y:
+			out = append(out, x)
 			i++
 			j++
-		case a.Less(b):
-			out = append(out, a)
+		case x.Less(y):
+			out = append(out, x)
 			i++
 		default:
-			out = append(out, b)
-			dig.add(itemHash(b))
+			out = append(out, y)
+			dig.add(itemHash(y))
 			j++
 		}
 	}
-	out = append(out, s.items[i:]...)
-	for _, b := range t.items[j:] {
-		out = append(out, b)
-		dig.add(itemHash(b))
+	out = append(out, a[i:]...)
+	for _, y := range b[j:] {
+		out = append(out, y)
+		dig.add(itemHash(y))
 	}
-	return Set{items: out, dig: dig}
+	return out, dig
+}
+
+// windowBeyond returns s's logical items outside base's prefix, as a
+// sorted slice. When s already sits on that base content this is its
+// window verbatim.
+func (s Set) windowBeyond(base *Base) []Item {
+	if base == nil {
+		return s.Items()
+	}
+	if s.base != nil && s.base.set.dig == base.set.dig {
+		return s.items
+	}
+	bi := base.set.items
+	var out []Item
+	it := s.iter()
+	for {
+		v, ok := it.next()
+		if !ok {
+			return out
+		}
+		if !containsSorted(bi, v) {
+			out = append(out, v)
+		}
+	}
 }
 
 // SubsetOf reports s ⊆ t, i.e. s ≤ t in the lattice order.
 func (s Set) SubsetOf(t Set) bool {
-	if len(s.items) > len(t.items) {
+	sl, tl := s.Len(), t.Len()
+	if sl > tl {
 		return false
 	}
-	if len(s.items) == len(t.items) {
+	if sl == tl {
 		return s.dig == t.dig // equal-size subset ⇔ equality: O(1)
 	}
-	i, j := 0, 0
-	for i < len(s.items) {
-		if j >= len(t.items) {
+	if sameBase(s, t) {
+		return subsetSorted(s.items, t.items)
+	}
+	if s.base == nil && t.base == nil {
+		return subsetSorted(s.items, t.items)
+	}
+	// Mixed representations. A small flat side (the common shape:
+	// "is this fresh client value already in the anchored set?") is
+	// answered by per-item binary search — O(|s|·log|t|) — instead of
+	// the merge walk over both full sequences, which would silently
+	// reintroduce an O(history) cost per submitted value.
+	if s.base == nil && len(s.items)*16 < tl {
+		for _, it := range s.items {
+			if !t.Contains(it) {
+				return false
+			}
+		}
+		return true
+	}
+	// General case: merge-walk the two logical sequences.
+	si, ti := s.iter(), t.iter()
+	sv, sok := si.next()
+	tv, tok := ti.next()
+	for sok {
+		if !tok {
 			return false
 		}
-		a, b := s.items[i], t.items[j]
 		switch {
-		case a == b:
+		case sv == tv:
+			sv, sok = si.next()
+			tv, tok = ti.next()
+		case tv.Less(sv):
+			tv, tok = ti.next()
+		default: // sv < tv: sv missing from t
+			return false
+		}
+	}
+	return true
+}
+
+// subsetSorted reports a ⊆ b over sorted duplicate-free slices.
+func subsetSorted(a, b []Item) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a) {
+		if j >= len(b) {
+			return false
+		}
+		x, y := a[i], b[j]
+		switch {
+		case x == y:
 			i++
 			j++
-		case b.Less(a):
+		case y.Less(x):
 			j++
-		default: // a < b: a missing from t
+		default: // x < y: x missing from b
 			return false
 		}
 	}
@@ -176,7 +417,7 @@ func (s Set) SubsetOf(t Set) bool {
 // length as a belt-and-braces guard); see Digest for the
 // collision-resistance assumption this rests on.
 func (s Set) Equal(t Set) bool {
-	return len(s.items) == len(t.items) && s.dig == t.dig
+	return s.Len() == t.Len() && s.dig == t.dig
 }
 
 // Comparable reports s ≤ t ∨ t ≤ s (the Comparability predicate of the
@@ -185,33 +426,38 @@ func (s Set) Comparable(t Set) bool {
 	return s.SubsetOf(t) || t.SubsetOf(s)
 }
 
-// Minus returns the items of s not in t (a single merge pass; set
-// difference is not a lattice operation and is never used by protocols
-// to shrink proposals — it feeds diagnostics and delta encoding).
+// Minus returns the items of s not in t (a single merge pass over the
+// logical sequences; set difference is not a lattice operation and is
+// never used by protocols to shrink proposals — it feeds diagnostics,
+// delta encoding and checkpoint rebasing).
 func (s Set) Minus(t Set) []Item {
 	var out []Item
-	i, j := 0, 0
-	for i < len(s.items) {
-		if j >= len(t.items) {
-			out = append(out, s.items[i:]...)
-			break
+	si, ti := s.iter(), t.iter()
+	sv, sok := si.next()
+	tv, tok := ti.next()
+	for sok {
+		if !tok {
+			out = append(out, sv)
+			sv, sok = si.next()
+			continue
 		}
-		a, b := s.items[i], t.items[j]
 		switch {
-		case a == b:
-			i++
-			j++
-		case a.Less(b):
-			out = append(out, a)
-			i++
+		case sv == tv:
+			sv, sok = si.next()
+			tv, tok = ti.next()
+		case sv.Less(tv):
+			out = append(out, sv)
+			sv, sok = si.next()
 		default:
-			j++
+			tv, tok = ti.next()
 		}
 	}
 	return out
 }
 
-// Digest returns the cached content digest of the set (O(1)).
+// Digest returns the cached content digest of the set (O(1)). The
+// digest addresses the logical value: a compacted set and its flat
+// equivalent share one digest.
 func (s Set) Digest() Digest { return s.dig }
 
 // Key returns a canonical string key for use in maps (e.g. counting how
@@ -219,6 +465,72 @@ func (s Set) Digest() Digest { return s.dig }
 // raw bytes of the cached digest. O(1) — distinct sets have distinct
 // keys under the Digest collision-resistance assumption.
 func (s Set) Key() string { return string(s.dig[:]) }
+
+// Flatten returns the flat (unanchored) representation of s.
+func (s Set) Flatten() Set {
+	if s.base == nil {
+		return s
+	}
+	return Set{items: mergeItems(s.base.set.items, s.items), dig: s.dig}
+}
+
+// Rebase re-anchors s on base, storing only the window beyond it. It
+// requires base ⊆ s (values are monotone joins, so everything live
+// after a checkpoint extends the certified prefix); ok reports that.
+// The digest is unchanged — rebasing is pure representation.
+func (s Set) Rebase(base *Base) (Set, bool) {
+	if base == nil || base.Len() == 0 {
+		return s.Flatten(), true
+	}
+	if s.base != nil && s.base.set.dig == base.set.dig {
+		return Set{items: s.items, dig: s.dig, base: base}, true
+	}
+	if s.base != nil && s.base.Len() <= base.Len() {
+		// Checkpoint-chain fast path: when the new base extends the old
+		// one (certified prefixes are totally ordered and growing), the
+		// new window is just the old window minus the new base —
+		// O(window·log) instead of an O(history) merge. The additive
+		// digest identity verifies the chain assumption for free: if
+		// the old base were not contained in the new one, or the new
+		// base not contained in s, the accumulator sums cannot match.
+		bi := base.set.items
+		out := make([]Item, 0, len(s.items))
+		d := base.set.dig
+		for _, it := range s.items {
+			if !containsSorted(bi, it) {
+				out = append(out, it)
+				d.add(itemHash(it))
+			}
+		}
+		if d == s.dig {
+			return Set{items: out, dig: s.dig, base: base}, true
+		}
+	}
+	if !base.set.SubsetOf(s) {
+		return s, false
+	}
+	return Set{items: s.Minus(base.set), dig: s.dig, base: base}, true
+}
+
+// BaseInfo reports the anchor of a compacted set: the base content
+// digest and size, with ok=false for flat sets.
+func (s Set) BaseInfo() (dig Digest, n int, ok bool) {
+	if s.base == nil {
+		return Digest{}, 0, false
+	}
+	return s.base.set.dig, s.base.Len(), true
+}
+
+// WindowLen returns the number of items beyond the base (the whole set
+// for flat sets).
+func (s Set) WindowLen() int { return len(s.items) }
+
+// Window returns the frontier items beyond the base, as a fresh slice.
+func (s Set) Window() []Item {
+	out := make([]Item, len(s.items))
+	copy(out, s.items)
+	return out
+}
 
 // Delta computes the delta encoding of s against base: the items of s
 // missing from base, plus base's digest as the reference the receiver
@@ -243,12 +555,15 @@ func ApplyDelta(base Set, items []Item) Set {
 func (s Set) String() string {
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, it := range s.items {
-		if i > 0 {
+	first := true
+	s.Each(func(it Item) bool {
+		if !first {
 			b.WriteString(", ")
 		}
+		first = false
 		b.WriteString(it.String())
-	}
+		return true
+	})
 	b.WriteByte('}')
 	return b.String()
 }
@@ -256,9 +571,10 @@ func (s Set) String() string {
 // Authors returns the distinct item authors in ascending order.
 func (s Set) Authors() []ident.ProcessID {
 	seen := ident.NewSet()
-	for _, it := range s.items {
+	s.Each(func(it Item) bool {
 		seen.Add(it.Author)
-	}
+		return true
+	})
 	return seen.Members()
 }
 

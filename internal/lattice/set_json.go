@@ -13,12 +13,15 @@ type wireItem struct {
 }
 
 // MarshalJSON encodes the set as a canonical (sorted) array of items, so
-// equal sets always produce identical bytes.
+// equal sets always produce identical bytes. Compacted sets flatten on
+// the wire: the base anchor is a process-local representation choice,
+// and receivers re-anchor onto their own certified checkpoints.
 func (s Set) MarshalJSON() ([]byte, error) {
-	out := make([]wireItem, len(s.items))
-	for i, it := range s.items {
-		out[i] = wireItem{A: int32(it.Author), B: it.Body}
-	}
+	out := make([]wireItem, 0, s.Len())
+	s.Each(func(it Item) bool {
+		out = append(out, wireItem{A: int32(it.Author), B: it.Body})
+		return true
+	})
 	return json.Marshal(out)
 }
 

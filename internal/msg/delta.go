@@ -84,6 +84,8 @@ func PrimarySet(m Msg) (lattice.Set, bool) {
 		return v.Accepted, true
 	case DecidedCert:
 		return v.Value, true
+	case StateRep:
+		return v.Value, true
 	case RBCSend:
 		return PrimarySet(v.Payload)
 	case RBCEcho:
@@ -131,6 +133,9 @@ func WithPrimarySet(m Msg, s lattice.Set) Msg {
 	case DecidedCert:
 		v.Value = s
 		return v
+	case StateRep:
+		v.Value = s
+		return v
 	case RBCSend:
 		v.Payload = WithPrimarySet(v.Payload, s)
 		return v
@@ -171,6 +176,7 @@ type DeltaEncoder struct {
 	mu      sync.Mutex
 	seq     uint64
 	anchors []lattice.Set // newest first, candidate delta bases
+	pinned  lattice.Set   // newest transmitted checkpoint prefix: a persistent base
 	recent  map[uint64]Msg
 	order   []uint64 // FIFO over recent
 }
@@ -187,6 +193,7 @@ func NewDeltaEncoder() *DeltaEncoder {
 func (e *DeltaEncoder) Reset() {
 	e.mu.Lock()
 	e.anchors = nil
+	e.pinned = lattice.Empty()
 	e.mu.Unlock()
 }
 
@@ -220,6 +227,13 @@ func (e *DeltaEncoder) Encode(m Msg) ([]byte, error) {
 		e.rememberLocked(w.Seq, m)
 	}
 	e.pushAnchorLocked(set)
+	if _, ok := m.(StateRep); ok {
+		// The checkpoint prefix just went over in full: rebase this
+		// link's delta chain onto it permanently. Steady-state window
+		// traffic is a small delta against the newest checkpoint, and
+		// unlike ring anchors the pin survives unrelated transmissions.
+		e.pinned = set
+	}
 	body, err := json.Marshal(w)
 	if err != nil {
 		return nil, fmt.Errorf("msg: delta frame of %s: %w", m.Kind(), err)
@@ -241,6 +255,7 @@ func (e *DeltaEncoder) HandleNack(nk DeltaNack) (Msg, bool) {
 	}
 	delete(e.recent, nk.Seq)
 	e.anchors = nil
+	e.pinned = lattice.Empty()
 	return m, true
 }
 
@@ -252,6 +267,9 @@ func (e *DeltaEncoder) bestBaseLocked(set lattice.Set) (lattice.Set, bool) {
 		if !a.IsEmpty() && a.SubsetOf(set) && (!found || a.Len() > best.Len()) {
 			best, found = a, true
 		}
+	}
+	if p := e.pinned; !p.IsEmpty() && p.SubsetOf(set) && (!found || p.Len() > best.Len()) {
+		best, found = p, true
 	}
 	return best, found
 }

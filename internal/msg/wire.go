@@ -163,6 +163,16 @@ func FromEnvelope(env Envelope) (Msg, error) {
 		return decodeBody[Wakeup](env)
 	case KindJunk:
 		return decodeBody[Junk](env)
+	case KindCkptProp:
+		return decodeBody[CkptProp](env)
+	case KindCkptSig:
+		return decodeBody[CkptSig](env)
+	case KindCkptCert:
+		return decodeBody[CkptCert](env)
+	case KindStateReq:
+		return decodeBody[StateReq](env)
+	case KindStateRep:
+		return decodeBody[StateRep](env)
 	case KindDeltaNack:
 		return decodeBody[DeltaNack](env)
 	case KindDeltaFrame:
@@ -196,4 +206,39 @@ func KeyOf(m Msg) string {
 		return fmt.Sprintf("!err:%T:%v", m, m)
 	}
 	return string(data)
+}
+
+// PayloadKey is the O(1)-in-history identity of a message: structural
+// fields plus the 32-byte content digest of any carried lattice set,
+// instead of the set's full serialization. The RBC layer keys echo and
+// ready tallies with it, which removes the last per-message O(history)
+// serialization from the hot path; distinct payloads map to distinct
+// keys under the same digest collision-resistance assumption the ack
+// tallies and signature preimages already rest on (DESIGN.md §4).
+// Message types without a compact structural form fall back to KeyOf.
+func PayloadKey(m Msg) string {
+	switch v := m.(type) {
+	case Disclosure:
+		return fmt.Sprintf("dc|%d|%s", v.Round, v.Value.Key())
+	case AckReq:
+		return fmt.Sprintf("aq|%d|%d|%s", v.TS, v.Round, v.Proposed.Key())
+	case Ack:
+		return fmt.Sprintf("ak|%d|%d|%s", v.TS, v.Round, v.Accepted.Key())
+	case Nack:
+		return fmt.Sprintf("nk|%d|%d|%s", v.TS, v.Round, v.Accepted.Key())
+	case AckB:
+		return fmt.Sprintf("ab|%d|%d|%d|%s", v.Dest, v.TS, v.Round, v.Accepted.Key())
+	case Decide:
+		return fmt.Sprintf("de|%d|%s", v.Round, v.Value.Key())
+	case CnfReq:
+		return "cq|" + v.Value.Key()
+	case CnfRep:
+		return "cp|" + v.Value.Key()
+	case NewValue:
+		return fmt.Sprintf("nv|%d|%d|%s", v.Cmd.Author, len(v.Cmd.Body), v.Cmd.Body)
+	case ShardMsg:
+		return fmt.Sprintf("sh|%d|%s", v.Shard, PayloadKey(v.Inner))
+	default:
+		return KeyOf(m)
+	}
 }

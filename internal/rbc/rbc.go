@@ -162,10 +162,10 @@ func (p *Peer) onEcho(from ident.ProcessID, m msg.RBCEcho) []proto.Output {
 		return nil
 	}
 	in := p.inst(m.Src, m.Tag)
-	if in == nil {
-		return nil
+	if in == nil || in.delivered {
+		return nil // post-delivery straggler: our ready already went out
 	}
-	key := msg.KeyOf(m.Payload)
+	key := msg.PayloadKey(m.Payload)
 	set := in.echoes[key]
 	if set == nil {
 		set = ident.NewSet()
@@ -184,10 +184,10 @@ func (p *Peer) onReady(from ident.ProcessID, m msg.RBCReady) []proto.Output {
 		return nil
 	}
 	in := p.inst(m.Src, m.Tag)
-	if in == nil {
-		return nil
+	if in == nil || in.delivered {
+		return nil // post-delivery straggler: our ready already went out
 	}
-	key := msg.KeyOf(m.Payload)
+	key := msg.PayloadKey(m.Payload)
 	set := in.readies[key]
 	if set == nil {
 		set = ident.NewSet()
@@ -219,6 +219,13 @@ func (p *Peer) progress(src ident.ProcessID, tag string, in *instance, key strin
 	if !in.delivered && readyCount >= p.deliverQuorum() {
 		in.delivered = true
 		p.deliveries = append(p.deliveries, Delivery{Src: src, Tag: tag, Payload: payload})
+		// The instance has served its purpose: drop the payloads and
+		// tallies (which pin history-sized sets) and keep only the
+		// tombstone flags that deduplicate stragglers. Without this,
+		// per-round instances retain every broadcast value forever.
+		in.echoes = nil
+		in.readies = nil
+		in.payloads = nil
 	}
 	return outs
 }

@@ -11,6 +11,7 @@ package rsm
 import (
 	"strings"
 
+	"bgla/internal/compact"
 	"bgla/internal/core/gwts"
 	"bgla/internal/ident"
 	"bgla/internal/lattice"
@@ -41,11 +42,12 @@ func IsNop(it lattice.Item) bool { return strings.HasPrefix(it.Body, nopPrefix) 
 // equivalent to a no-op when executed, §7.2).
 func StripNops(s lattice.Set) lattice.Set {
 	items := make([]lattice.Item, 0, s.Len())
-	for _, it := range s.Items() {
+	s.Each(func(it lattice.Item) bool {
 		if !IsNop(it) {
 			items = append(items, it)
 		}
-	}
+		return true
+	})
 	return lattice.FromItems(items...)
 }
 
@@ -78,6 +80,10 @@ type ReplicaConfig struct {
 	F    int
 	// Clients are the client processes to notify on every decision.
 	Clients []ident.ProcessID
+	// Compaction enables checkpointed history compaction for the
+	// replica's GWTS machine (zero value = disabled; see
+	// internal/compact and DESIGN.md §6).
+	Compaction compact.Config
 }
 
 // NewReplica builds a replica: a GWTS machine whose decisions are
@@ -88,5 +94,6 @@ func NewReplica(cfg ReplicaConfig) (*gwts.Machine, error) {
 		N:           cfg.N,
 		F:           cfg.F,
 		Subscribers: cfg.Clients,
+		Compaction:  cfg.Compaction,
 	})
 }

@@ -9,11 +9,14 @@ import (
 
 	"bgla/internal/batch"
 	"bgla/internal/chanet"
+	"bgla/internal/compact"
 	"bgla/internal/core"
+	"bgla/internal/core/gwts"
 	"bgla/internal/ident"
 	"bgla/internal/msg"
 	"bgla/internal/proto"
 	"bgla/internal/rsm"
+	"bgla/internal/sig"
 )
 
 // ServiceConfig configures a live in-process Byzantine-tolerant RSM.
@@ -50,6 +53,23 @@ type ServiceConfig struct {
 	// QueueDepth bounds queued operations; beyond it callers block —
 	// backpressure (default 4096).
 	QueueDepth int
+
+	// CheckpointEvery enables checkpointed history compaction
+	// (internal/compact, DESIGN.md §6): once a replica's decided window
+	// beyond the current certified base reaches this many commands, the
+	// cluster folds the decided prefix into a 2f+1-signed checkpoint
+	// certificate and every replica rewrites its live state as
+	// "certified base + O(window) frontier". Per-round protocol cost
+	// and resident state then stay flat as history grows, and a lagging
+	// or restarted replica catches up from a peer's checkpoint via
+	// state transfer instead of replaying history. 0 disables (the
+	// seed's unbounded-history behaviour).
+	CheckpointEvery int
+	// CheckpointBytes adds a byte-denominated trigger: checkpoint once
+	// the window's command bodies exceed this many bytes (0 disables
+	// the byte trigger; either threshold firing initiates a
+	// checkpoint).
+	CheckpointBytes int
 }
 
 // clientID is the identity the Service uses on the network.
@@ -96,9 +116,26 @@ type Service struct {
 	net  *chanet.Net
 	gw   *gateway
 	pipe *batch.Pipeline
+	reps []*gwts.Machine
 	seq  atomic.Int64
 
 	closeOnce sync.Once
+}
+
+// replicaCompaction builds the per-replica checkpoint configuration
+// (zero when disabled). The keychain is the fast deterministic
+// simulation scheme — the in-process transport already authenticates
+// senders, and DESIGN.md §3 explains why protocol-visible behaviour is
+// identical to Ed25519.
+func replicaCompaction(cfg ServiceConfig, kc sig.Keychain, id ident.ProcessID) compact.Config {
+	if cfg.CheckpointEvery <= 0 && cfg.CheckpointBytes <= 0 {
+		return compact.Config{}
+	}
+	return compact.Config{
+		Self: id, N: cfg.Replicas, F: cfg.Faulty,
+		Keychain: kc, Signer: kc.SignerFor(id),
+		Every: cfg.CheckpointEvery, Bytes: cfg.CheckpointBytes,
+	}
 }
 
 // NewService builds and starts the cluster.
@@ -123,19 +160,29 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	}
 	gw := &gateway{}
 	machines := []proto.Machine{gw}
+	var kc sig.Keychain
+	if cfg.CheckpointEvery > 0 || cfg.CheckpointBytes > 0 {
+		kc = sig.NewSim(cfg.Replicas, cfg.Seed+0x5eed)
+	}
+	var reps []*gwts.Machine
 	for i := 0; i < cfg.Replicas; i++ {
 		id := ident.ProcessID(i)
 		if mute.Has(id) {
 			machines = append(machines, &muteMachine{id: id})
 			continue
 		}
-		r, err := rsm.NewReplica(rsm.ReplicaConfig{
+		rc := rsm.ReplicaConfig{
 			Self: id, N: cfg.Replicas, F: cfg.Faulty,
 			Clients: []ident.ProcessID{clientID},
-		})
+		}
+		if kc != nil {
+			rc.Compaction = replicaCompaction(cfg, kc, id)
+		}
+		r, err := rsm.NewReplica(rc)
 		if err != nil {
 			return nil, err
 		}
+		reps = append(reps, r)
 		machines = append(machines, r)
 	}
 	net := chanet.New(machines, chanet.Options{MaxJitter: cfg.Jitter, Seed: cfg.Seed})
@@ -166,7 +213,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	}
 	gw.deliver = pipe.Deliver
 	net.Start()
-	return &Service{cfg: cfg, net: net, gw: gw, pipe: pipe}, nil
+	return &Service{cfg: cfg, net: net, gw: gw, pipe: pipe, reps: reps}, nil
 }
 
 // Close shuts the cluster down; blocked callers return an error.
@@ -231,3 +278,48 @@ func (s *Service) BatchStats() BatchStats {
 		Timeouts: st.Timeouts, AvgBatch: st.AvgBatch(),
 	}
 }
+
+// CompactionStats aggregates the replicas' checkpoint activity: how
+// many certificates were installed, the deepest certified prefix, and
+// the state transfers served to (and completed by) lagging replicas.
+// All zero when CheckpointEvery/CheckpointBytes are unset.
+type CompactionStats struct {
+	// Installs sums checkpoint installations across replicas;
+	// CertsBuilt the certificates assembled; SigsIssued the
+	// countersignatures produced.
+	Installs, CertsBuilt, SigsIssued int64
+	// TransfersServed / TransfersReceived count state-transfer replies
+	// sent to and catch-ups completed from peers' checkpoints.
+	TransfersServed, TransfersReceived int64
+	// MaxEpoch is the deepest replica's checkpoint count; MinBaseLen
+	// and MaxBaseLen bound the certified prefix sizes across replicas.
+	MaxEpoch, MinBaseLen, MaxBaseLen int64
+}
+
+func aggregateCompaction(reps []*gwts.Machine) CompactionStats {
+	var out CompactionStats
+	first := true
+	for _, r := range reps {
+		st := r.CompactionStats()
+		out.Installs += st.Installs
+		out.CertsBuilt += st.CertsBuilt
+		out.SigsIssued += st.SigsIssued
+		out.TransfersServed += st.TransfersServed
+		out.TransfersReceived += st.TransfersReceived
+		if st.Epoch > out.MaxEpoch {
+			out.MaxEpoch = st.Epoch
+		}
+		if st.BaseLen > out.MaxBaseLen {
+			out.MaxBaseLen = st.BaseLen
+		}
+		if first || st.BaseLen < out.MinBaseLen {
+			out.MinBaseLen = st.BaseLen
+		}
+		first = false
+	}
+	return out
+}
+
+// CompactionStats snapshots the correct replicas' checkpoint counters
+// (atomics — safe while the cluster runs).
+func (s *Service) CompactionStats() CompactionStats { return aggregateCompaction(s.reps) }

@@ -2,19 +2,25 @@ package bgla
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bgla/internal/batch"
 	"bgla/internal/chanet"
+	"bgla/internal/compact"
 	"bgla/internal/core"
+	"bgla/internal/core/gwts"
 	"bgla/internal/ident"
 	"bgla/internal/lattice"
 	"bgla/internal/msg"
 	"bgla/internal/proto"
 	"bgla/internal/rsm"
 	"bgla/internal/shard"
+	"bgla/internal/sig"
 )
 
 // ShardedConfig configures a sharded multi-lattice store: S independent
@@ -59,10 +65,15 @@ type Store struct {
 	net     *chanet.Net
 	demuxes []*shard.Demux
 	pipes   []*batch.Pipeline
+	reps    []*gwts.Machine
 	seq     atomic.Uint64
 
-	scans      atomic.Uint64
-	scanPasses atomic.Uint64
+	scans       atomic.Uint64
+	scanPasses  atomic.Uint64
+	scanRetries atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	closeOnce sync.Once
 }
@@ -118,6 +129,17 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 	gw := shard.NewGateway(clientID, cfg.Shards)
 	machines := []proto.Machine{gw}
 	demuxes := make([]*shard.Demux, 0, cfg.Replicas)
+	// Per-shard checkpoint triggers: the configured thresholds are the
+	// store-wide budget, divided across shards (each shard sees ~1/S of
+	// the history) so compaction cadence tracks aggregate load.
+	var kc sig.Keychain
+	shardCfg := cfg.ServiceConfig
+	shardCfg.CheckpointEvery = compact.ScaleEvery(cfg.CheckpointEvery, cfg.Shards)
+	shardCfg.CheckpointBytes = compact.ScaleBytes(cfg.CheckpointBytes, cfg.Shards)
+	if shardCfg.CheckpointEvery > 0 || shardCfg.CheckpointBytes > 0 {
+		kc = sig.NewSim(cfg.Replicas, cfg.Seed+0x5eed)
+	}
+	var reps []*gwts.Machine
 	for i := 0; i < cfg.Replicas; i++ {
 		id := ident.ProcessID(i)
 		subs := make([]proto.Machine, cfg.Shards)
@@ -125,13 +147,18 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 			if mutes[s].Has(id) {
 				continue // nil sub = mute in this shard
 			}
-			r, err := rsm.NewReplica(rsm.ReplicaConfig{
+			rc := rsm.ReplicaConfig{
 				Self: id, N: cfg.Replicas, F: cfg.Faulty,
 				Clients: []ident.ProcessID{clientID},
-			})
+			}
+			if kc != nil {
+				rc.Compaction = replicaCompaction(shardCfg, kc, id)
+			}
+			r, err := rsm.NewReplica(rc)
 			if err != nil {
 				return nil, err
 			}
+			reps = append(reps, r)
 			subs[s] = r
 		}
 		d, err := shard.NewDemux(shard.DemuxConfig{Self: id, Subs: subs, All: all})
@@ -182,7 +209,10 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 	}
 	gw.SetDeliver(func(s int, from ident.ProcessID, m msg.Msg) { pipes[s].Deliver(from, m) })
 	net.Start()
-	return &Store{cfg: cfg, net: net, demuxes: demuxes, pipes: pipes}, nil
+	return &Store{
+		cfg: cfg, net: net, demuxes: demuxes, pipes: pipes, reps: reps,
+		rng: rand.New(rand.NewSource(cfg.Seed + 0x5ca0)),
+	}, nil
 }
 
 // Close shuts the whole cluster down: every shard pipeline, every
@@ -239,6 +269,22 @@ func (st *Store) ReadCtx(ctx context.Context, key string) ([]Item, error) {
 	return fromLatticeSet(rsm.StripNops(v)), nil
 }
 
+// Scan consistency knobs: the rescan loop retries at most
+// maxScanRescans times, sleeping a jittered, exponentially growing
+// backoff between passes so a scan racing sustained writers stops
+// burning CPU against the very pipelines it is waiting on.
+const (
+	maxScanRescans   = 16
+	scanBackoffBase  = 200 * time.Microsecond
+	scanBackoffLimit = 20 * time.Millisecond
+)
+
+// ErrScanContended reports that a Scan lost the double-collect race to
+// concurrent writers maxScanRescans times in a row. Callers retry (or
+// scan during a quieter window); returning a merged-but-unstable view
+// would break the total order of Scans.
+var ErrScanContended = errors.New("bgla: scan contended: shard views kept advancing between passes")
+
 // Scan returns a consistent global state across every shard. Any two
 // Scans are totally ordered (one reflects a superset of the commands of
 // the other) and every completed Update is visible to later Scans.
@@ -248,8 +294,11 @@ func (st *Store) Scan() ([]Item, error) {
 
 // ScanCtx is Scan with caller-controlled cancellation. The rescan loop
 // re-reads all shards until two consecutive passes agree; under heavy
-// sustained writes that can take several passes (ctx or the configured
-// OpTimeout per inner read bounds the wait).
+// sustained writes each losing pass backs off (jittered exponential,
+// observable as StoreStats.ScanRetries) and after maxScanRescans
+// losses the scan fails with ErrScanContended rather than spinning
+// against the writers (ctx and the configured OpTimeout bound the wait
+// either way).
 func (st *Store) ScanCtx(ctx context.Context) ([]Item, error) {
 	st.scans.Add(1)
 	// OpTimeout bounds the whole scan, not each inner read: a rescan
@@ -262,20 +311,30 @@ func (st *Store) ScanCtx(ctx context.Context) ([]Item, error) {
 		return nil, err
 	}
 	// S=1 is already a linearizable read; rescanning buys nothing.
-	for st.cfg.Shards > 1 {
-		next, err := st.collect(ctx)
-		if err != nil {
-			return nil, err
-		}
-		stable := true
-		for s := range views {
-			if views[s].Digest() != next[s].Digest() {
-				stable = false
+	if st.cfg.Shards > 1 {
+		stable := false
+		for attempt := 0; attempt < maxScanRescans; attempt++ {
+			next, err := st.collect(ctx)
+			if err != nil {
+				return nil, err
+			}
+			stable = true
+			for s := range views {
+				if views[s].Digest() != next[s].Digest() {
+					stable = false
+				}
+			}
+			views = next
+			if stable {
+				break
+			}
+			st.scanRetries.Add(1)
+			if err := st.scanBackoff(ctx, attempt); err != nil {
+				return nil, err
 			}
 		}
-		views = next
-		if stable {
-			break
+		if !stable {
+			return nil, ErrScanContended
 		}
 	}
 	var items []lattice.Item
@@ -283,6 +342,26 @@ func (st *Store) ScanCtx(ctx context.Context) ([]Item, error) {
 		items = append(items, v.Items()...)
 	}
 	return fromLatticeSet(lattice.FromItems(items...)), nil
+}
+
+// scanBackoff sleeps a jittered exponential delay before the next
+// rescan pass (full jitter: uniform in (0, base·2^attempt], capped).
+func (st *Store) scanBackoff(ctx context.Context, attempt int) error {
+	d := scanBackoffBase << attempt
+	if d > scanBackoffLimit || d <= 0 {
+		d = scanBackoffLimit
+	}
+	st.rngMu.Lock()
+	d = time.Duration(st.rng.Int63n(int64(d))) + 1
+	st.rngMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // collect runs one parallel pass of per-shard confirmed reads and
@@ -323,11 +402,17 @@ type StoreStats struct {
 	// Scans counts ScanCtx calls; ScanPasses the per-shard read fan-outs
 	// they ran (ScanPasses/Scans > 2 means writers forced rescans).
 	Scans, ScanPasses uint64
+	// ScanRetries counts rescan passes that lost the double-collect
+	// race and backed off before retrying (sustained-write contention).
+	ScanRetries uint64
 }
 
 // Stats snapshots the store's counters.
 func (st *Store) Stats() StoreStats {
-	out := StoreStats{Scans: st.scans.Load(), ScanPasses: st.scanPasses.Load()}
+	out := StoreStats{
+		Scans: st.scans.Load(), ScanPasses: st.scanPasses.Load(),
+		ScanRetries: st.scanRetries.Load(),
+	}
 	for _, p := range st.pipes {
 		s := p.Stats()
 		bs := BatchStats{
@@ -350,3 +435,8 @@ func (st *Store) Stats() StoreStats {
 	}
 	return out
 }
+
+// CompactionStats aggregates checkpoint activity across every shard
+// replica (atomics — safe while the store runs). All zero unless
+// CheckpointEvery/CheckpointBytes are set.
+func (st *Store) CompactionStats() CompactionStats { return aggregateCompaction(st.reps) }
