@@ -1,6 +1,7 @@
 package bgla
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -62,4 +63,90 @@ func TestServiceCloseDuringInFlightOps(t *testing.T) {
 	}
 	wg.Wait()
 	svc.Close()
+}
+
+// TestServiceCloseDuringCancelledCtxOps: Close racing operations whose
+// contexts are being cancelled at the same moment — the three-way race
+// between pipeline shutdown, ctx expiry and completion delivery.
+func TestServiceCloseDuringCancelledCtxOps(t *testing.T) {
+	svc, err := NewService(ServiceConfig{
+		Replicas: 4, Faulty: 1,
+		Jitter: 200 * time.Microsecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 30; k++ {
+				if w%2 == 0 {
+					_ = svc.UpdateCtx(ctx, IncCmd(1))
+				} else {
+					_, _ = svc.ReadCtx(ctx)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(time.Millisecond)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		cancel()
+	}()
+	go func() {
+		defer wg.Done()
+		svc.Close()
+	}()
+	wg.Wait()
+	svc.Close()
+}
+
+// TestStoreCloseDuringInFlightScans: Store.Close racing concurrent
+// Updates, point Reads and cross-shard Scans — the scan fan-out holds
+// per-shard pipeline reads in flight while Close tears the pipelines,
+// demux workers and transport down, in that order. Every blocked
+// caller must return (value or error), nothing may panic or deadlock,
+// and a racing second Close must be a no-op. Run under -race.
+func TestStoreCloseDuringInFlightScans(t *testing.T) {
+	st, err := NewStore(ShardedConfig{
+		Shards: 4,
+		ServiceConfig: ServiceConfig{
+			Replicas: 4, Faulty: 1,
+			Jitter: 200 * time.Microsecond, Seed: 23,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 9; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 25; k++ {
+				switch w % 3 {
+				case 0:
+					_ = st.Update(IncCmd(1))
+				case 1:
+					_, _ = st.Read("key-close")
+				default:
+					_, _ = st.Scan()
+				}
+			}
+		}(w)
+	}
+	time.Sleep(time.Millisecond)
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.Close()
+		}()
+	}
+	wg.Wait()
+	st.Close()
 }

@@ -6,6 +6,11 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"bgla/internal/core/gwts"
+	"bgla/internal/faultnet"
+	"bgla/internal/ident"
+	"bgla/internal/msg"
 )
 
 // TestServiceCompaction runs a live RSM with checkpointing enabled and
@@ -147,6 +152,76 @@ func TestStoreCompactionScan(t *testing.T) {
 	stats := st.Stats()
 	if stats.Scans == 0 {
 		t.Fatal("scan counter not incremented")
+	}
+}
+
+// TestCrashMidCheckpointRejoins covers the narrowest restart window of
+// the checkpoint protocol: a replica dies *between* countersigning a
+// checkpoint proposal and installing the assembled certificate. The
+// deterministic harness's delivery trigger crashes the victim at the
+// exact delivery of its own countersignature — its signature then
+// participates in a certificate the victim itself never saw. After a
+// restart from empty, the victim must reach the current view through
+// verified state transfer, and every invariant must hold.
+func TestCrashMidCheckpointRejoins(t *testing.T) {
+	seed := int64(5)
+	if *seedFlag != 0 {
+		seed = *seedFlag
+	}
+	const every = 16
+	var old *gwts.Machine
+	sc := scenarioConfig{
+		replicas: 4, faulty: 1, ckptEvery: every,
+		restartable: [][2]int{{0, 3}},
+		sched: func(h *harness) *faultnet.Schedule {
+			old = h.reps[0][3]
+			s := &faultnet.Schedule{}
+			s.On("crash-between-sign-and-install",
+				func(from, to ident.ProcessID, m msg.Msg) bool {
+					_, isSig := m.(msg.CkptSig)
+					return isSig && from == 3
+				},
+				func(api faultnet.ActionAPI) { h.wrappers[0][3].Crash() })
+			return s
+		},
+	}
+	h := launch(t, seed, sc)
+	// Phase 1: drive past the first checkpoint threshold; the trigger
+	// kills p3 the moment its countersignature reaches the initiator.
+	for k := 0; k < 24; k++ {
+		h.update(AddCmd(fmt.Sprintf("mid-pre-%02d", k)))
+		h.quiesce()
+	}
+	ost := old.CompactionStats()
+	if ost.SigsIssued < 1 {
+		t.Fatalf("seed %d: victim never countersigned — trigger cannot have fired", seed)
+	}
+	if ost.Installs != 0 {
+		t.Fatalf("seed %d: victim installed a certificate before dying (%+v) — crash missed the window", seed, ost)
+	}
+	// Phase 2: the surviving three keep deciding and checkpointing.
+	for k := 0; k < 24; k++ {
+		h.update(AddCmd(fmt.Sprintf("mid-down-%02d", k)))
+	}
+	h.quiesce()
+	// Phase 3: restart from empty; the missed disclosures are gone for
+	// good, so only state transfer can cover them.
+	fresh := h.restart(0, 3, 1, every)
+	for k := 0; k < 24; k++ {
+		h.update(AddCmd(fmt.Sprintf("mid-post-%02d", k)))
+	}
+	h.quiesce()
+	fst := fresh.CompactionStats()
+	if fst.TransfersReceived < 1 {
+		t.Fatalf("seed %d: restarted victim never caught up via state transfer: %+v", seed, fst)
+	}
+	if fst.BaseLen < every {
+		t.Fatalf("seed %d: restarted victim's certified base (%d) too shallow", seed, fst.BaseLen)
+	}
+	h.finish()
+	h.assertClean()
+	if d := fresh.Decided().Len(); d < 48 {
+		t.Fatalf("seed %d: rejoined victim decided only %d/72 commands", seed, d)
 	}
 }
 

@@ -1,0 +1,191 @@
+package byz
+
+import (
+	"fmt"
+
+	"bgla/internal/compact"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+	"bgla/internal/sig"
+)
+
+// This file extends the adversary library to the checkpoint-compaction
+// layer (internal/compact, DESIGN.md §6): hostile replicas that hold a
+// legitimate cluster key — the Byzantine model lets them sign — and
+// attack the certificate chain with forged certificates, stale
+// replays, corrupted state transfers and replayed countersignatures.
+// The safety argument they probe: a correct replica only ever installs
+// a prefix covered by 2f+1 distinct valid signatures over one
+// preimage, and only adopts transferred state whose content digest and
+// folded image match that certificate.
+
+// CkptForger attacks certificate verification: it broadcasts
+// fabricated certificates (garbage signatures, duplicated signers,
+// doctored epochs on captured real certificates), replays stale
+// certificates long after deeper ones exist, and answers state
+// transfer requests with corrupted values under a real certificate.
+// Correct replicas must reject all of it and keep compacting.
+type CkptForger struct {
+	proto.Recorder
+	Self ident.ProcessID
+	N, F int
+	// Keychain is the cluster keychain (the forger is a member and may
+	// sign as itself — but only as itself).
+	Keychain sig.Keychain
+
+	captured []msg.CkptCert
+}
+
+// ID implements proto.Machine.
+func (c *CkptForger) ID() ident.ProcessID { return c.Self }
+
+// fabricate builds a certificate whose 2f+1 "signatures" are garbage
+// bytes under claimed peer identities — basic signature verification
+// must reject every one.
+func (c *CkptForger) fabricate(junkBody string) msg.CkptCert {
+	val := lattice.FromStrings(c.Self, junkBody)
+	cert := msg.CkptCert{
+		Epoch: 1, Round: 1, Len: val.Len(),
+		Dig: val.Digest(), Image: []byte("forged-image"),
+	}
+	for i := 0; i < 2*c.F+1; i++ {
+		cert.Sigs = append(cert.Sigs, msg.CkptSig{
+			Epoch: cert.Epoch, Round: cert.Round, Len: cert.Len,
+			Dig: cert.Dig, Image: cert.Image,
+			Signer: ident.ProcessID(i % (c.F + 1)),
+			Sig:    []byte(fmt.Sprintf("garbage-%d", i)),
+		})
+	}
+	return cert
+}
+
+// selfQuorum builds the quorum-of-one attack: 2f+1 copies of a single
+// GENUINE signature — the forger's own key over the real checkpoint
+// preimage of its junk value. Every signature verifies individually;
+// only the distinct-signers requirement of compact.VerifyCert stands
+// between this certificate and installation.
+func (c *CkptForger) selfQuorum(junkBody string) msg.CkptCert {
+	val := lattice.FromStrings(c.Self, junkBody)
+	image := compact.ImageHash(val)
+	sig := compact.Sign(c.Keychain.SignerFor(c.Self), 1, 1, val.Len(), val.Digest(), image)
+	cert := msg.CkptCert{
+		Epoch: 1, Round: 1, Len: val.Len(),
+		Dig: val.Digest(), Image: image,
+	}
+	for i := 0; i < 2*c.F+1; i++ {
+		cert.Sigs = append(cert.Sigs, sig)
+	}
+	return cert
+}
+
+// Start implements proto.Machine: open with both fabricated
+// certificates — garbage signatures and a duplicated self-signed
+// quorum.
+func (c *CkptForger) Start() []proto.Output {
+	return []proto.Output{
+		proto.Bcast(c.fabricate("forged-genesis")),
+		proto.Bcast(c.selfQuorum("poisoned-selfquorum")),
+	}
+}
+
+// Handle implements proto.Machine.
+func (c *CkptForger) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	if from == c.Self {
+		return nil
+	}
+	switch v := m.(type) {
+	case msg.CkptProp:
+		// Poison the initiator's collection: a garbage countersignature
+		// and a GENUINELY-signed one over a doctored preimage (Len+1,
+		// wrong image) — the latter passes signature verification and
+		// can only die on the collector's content-binding check against
+		// its pending proposal.
+		bad := msg.CkptSig{
+			Epoch: v.Epoch, Round: v.Round, Len: v.Len,
+			Dig: v.Dig, Image: []byte("wrong-image"),
+			Signer: c.Self, Sig: []byte("not-a-signature"),
+		}
+		doctored := compact.Sign(c.Keychain.SignerFor(c.Self),
+			v.Epoch, v.Round, v.Len+1, v.Dig, []byte("wrong-image"))
+		return []proto.Output{proto.Send(from, bad), proto.Send(from, doctored)}
+	case msg.CkptCert:
+		// Capture the real certificate; replay it stale and doctored.
+		c.captured = append(c.captured, v)
+		doctored := v
+		doctored.Epoch++
+		outs := []proto.Output{proto.Bcast(doctored)}
+		if len(c.captured) > 1 {
+			outs = append(outs, proto.Bcast(c.captured[0])) // stale replay
+		}
+		return outs
+	case msg.StateReq:
+		// Serve a corrupted transfer: genuine certificate, junk value.
+		for _, cert := range c.captured {
+			if cert.Dig == v.Dig {
+				return []proto.Output{proto.Send(from, msg.StateRep{
+					Cert:  cert,
+					Value: lattice.FromStrings(c.Self, "poisoned-state"),
+				})}
+			}
+		}
+		return []proto.Output{proto.Send(from, msg.StateRep{
+			Cert:  c.fabricate("poisoned-cert"),
+			Value: lattice.FromStrings(c.Self, "poisoned-state"),
+		})}
+	}
+	return nil
+}
+
+// SigReplayer attacks countersignature freshness: it mirrors observed
+// checkpoint proposals as its own (collecting genuine signatures from
+// correct replicas — the transferability the protocol grants), then
+// replays those signatures against later proposals and doctored
+// epochs. Replayed signatures bind to their original preimage, so no
+// correct collector may ever accept one for different content.
+type SigReplayer struct {
+	proto.Recorder
+	Self ident.ProcessID
+
+	props []msg.CkptProp
+	sigs  []msg.CkptSig
+}
+
+// ID implements proto.Machine.
+func (r *SigReplayer) ID() ident.ProcessID { return r.Self }
+
+// Start implements proto.Machine.
+func (r *SigReplayer) Start() []proto.Output { return nil }
+
+// Handle implements proto.Machine.
+func (r *SigReplayer) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
+	if from == r.Self {
+		return nil
+	}
+	switch v := m.(type) {
+	case msg.CkptProp:
+		r.props = append(r.props, v)
+		// Mirror the proposal as our own: correct replicas countersign
+		// (the condition is their Ack_history, not the initiator), and
+		// their signatures flow back to us for replay.
+		mirror := v
+		mirror.From = r.Self
+		outs := []proto.Output{proto.Bcast(mirror)}
+		// Replay every captured signature against this new proposal,
+		// doctoring the epoch to match: preimage mismatch, must die.
+		for _, s := range r.sigs {
+			replay := s
+			replay.Epoch = v.Epoch
+			replay.Round = v.Round
+			outs = append(outs, proto.Send(from, replay))
+		}
+		return outs
+	case msg.CkptSig:
+		r.sigs = append(r.sigs, v)
+		// Replay it verbatim to everyone — only a collector with the
+		// exact matching pending proposal may count it, once.
+		return []proto.Output{proto.Bcast(v), proto.Bcast(v)}
+	}
+	return nil
+}

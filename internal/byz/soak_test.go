@@ -1,6 +1,7 @@
 package byz
 
 import (
+	"flag"
 	"fmt"
 	"strings"
 	"testing"
@@ -16,6 +17,12 @@ import (
 	"bgla/internal/sig"
 	"bgla/internal/sim"
 )
+
+// seedFlag shifts every soak sweep's seed range for replay and CI seed
+// rotation: a failure report names the exact seed, and
+// `go test -run <Test> -seed=<n> ./internal/byz` replays it (the
+// sweeps run seeds [n, n+count)). Sweeps honor -short by shrinking.
+var seedFlag = flag.Int64("seed", 0, "base seed for the soak sweeps (failures log the exact failing seed)")
 
 // mkAdversary builds adversary #k of the rotating cast for process id.
 func mkAdversary(k int, id ident.ProcessID, seed int64) proto.Machine {
@@ -42,7 +49,7 @@ func TestWTSSoakAcrossSeedsAndAdversaries(t *testing.T) {
 	}
 	for _, tc := range []struct{ n, f int }{{4, 1}, {7, 2}} {
 		for adv := 0; adv < 5; adv++ {
-			for seed := int64(0); seed < int64(seeds); seed++ {
+			for seed := *seedFlag; seed < *seedFlag+int64(seeds); seed++ {
 				var machines []proto.Machine
 				var correct []*wts.Machine
 				for i := 0; i < tc.n-tc.f; i++ {
@@ -95,7 +102,7 @@ func TestGWTSSoakWithAdversaries(t *testing.T) {
 	}
 	n, f := 4, 1
 	for adv := 0; adv < 5; adv++ {
-		for seed := int64(0); seed < int64(seeds); seed++ {
+		for seed := *seedFlag; seed < *seedFlag+int64(seeds); seed++ {
 			var machines []proto.Machine
 			var correct []*gwts.Machine
 			for i := 0; i < n-f; i++ {
@@ -141,7 +148,7 @@ func TestSbSSoakWithAdversaries(t *testing.T) {
 	}
 	n, f := 4, 1
 	for adv := 0; adv < 5; adv++ {
-		for seed := int64(0); seed < int64(seeds); seed++ {
+		for seed := *seedFlag; seed < *seedFlag+int64(seeds); seed++ {
 			kc := sig.NewSim(n, seed)
 			var machines []proto.Machine
 			var correct []*sbs.Machine

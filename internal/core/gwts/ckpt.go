@@ -33,6 +33,17 @@ func (m *Machine) CheckpointBase() *lattice.Base {
 	return m.ck.Base()
 }
 
+// CheckpointCert returns the machine's current (deepest) installed
+// checkpoint certificate, if any. Only read after the transport has
+// quiesced; the fault-injection harness validates the certificate
+// chain with it (internal/faultnet).
+func (m *Machine) CheckpointCert() (msg.CkptCert, bool) {
+	if m.ck == nil {
+		return msg.CkptCert{}, false
+	}
+	return m.ck.Cert()
+}
+
 // ckLookup resolves quorum-committed values for proposal
 // countersigning: the value must have reached the ack quorum at the
 // proposal's round in our own Ack_history.

@@ -130,6 +130,13 @@ type DemuxConfig struct {
 	// (chanet.Net.Inject or tcpnet.Node.Send). It must be safe for
 	// concurrent use; the Demux calls it from S goroutines.
 	Send func(to ident.ProcessID, m msg.Msg)
+	// Inline drives every sub-machine synchronously on the caller's
+	// goroutine instead of on per-shard workers. Deterministic
+	// transports (internal/faultnet) require it: worker goroutines
+	// would reintroduce scheduling nondeterminism. Self-addressed
+	// outputs are processed through a local FIFO before Handle
+	// returns, like a worker's loop-back.
+	Inline bool
 }
 
 // Demux is the per-process shard multiplexer: a proto.Machine whose
@@ -240,6 +247,15 @@ func (d *Demux) Start() []proto.Output {
 		return nil
 	}
 	d.started = true
+	if d.cfg.Inline {
+		for s, sub := range d.cfg.Subs {
+			if sub == nil {
+				continue
+			}
+			d.inlineRun(s, sub, sub.Start())
+		}
+		return nil
+	}
 	for s := range d.cfg.Subs {
 		d.wg.Add(1)
 		go d.work(s)
@@ -247,16 +263,41 @@ func (d *Demux) Start() []proto.Output {
 	return nil
 }
 
-// Handle implements proto.Machine: route-only, never blocks.
+// Handle implements proto.Machine: route-only, never blocks (inline
+// mode runs the addressed sub-machine synchronously instead).
 func (d *Demux) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
 	sm, ok := m.(msg.ShardMsg)
-	if !ok || sm.Shard < 0 || sm.Shard >= len(d.boxes) || sm.Inner == nil {
+	if !ok || sm.Shard < 0 || sm.Shard >= len(d.cfg.Subs) || sm.Inner == nil {
 		// Untagged or out-of-range traffic (hostile or misconfigured
 		// peer): no shard owns it, drop it on the floor.
 		return nil
 	}
+	if d.cfg.Inline {
+		sub := d.cfg.Subs[sm.Shard]
+		if sub == nil {
+			return nil // mute Byzantine shard
+		}
+		d.inlineRun(sm.Shard, sub, sub.Handle(from, sm.Inner))
+		return nil
+	}
 	d.boxes[sm.Shard].put(inbound{from: from, m: sm.Inner})
 	return nil
+}
+
+// inlineRun sends one batch of sub-machine outputs, then drains the
+// self-addressed loop-backs to quiescence (bounded: self-messages are
+// buffered-work drains, not loops).
+func (d *Demux) inlineRun(s int, sub proto.Machine, outs []proto.Output) {
+	d.drain(sub)
+	var pending []inbound
+	self := func(e inbound) { pending = append(pending, e) }
+	d.route(s, outs, self)
+	for len(pending) > 0 {
+		e := pending[0]
+		pending = pending[1:]
+		d.route(s, sub.Handle(e.from, e.m), self)
+		d.drain(sub)
+	}
 }
 
 // TakeEvents implements proto.EventSource, aggregating the hosted
@@ -310,6 +351,14 @@ func (d *Demux) work(s int) {
 // transport hop and chanet's Inject would attribute it correctly but
 // deliver it through the demux inbox, adding latency for nothing.
 func (d *Demux) emit(s int, outs []proto.Output) {
+	d.route(s, outs, func(e inbound) { d.boxes[s].put(e) })
+}
+
+// route is the single output-routing path shared by worker and inline
+// modes: shard wrapping, broadcast expansion over All, and the
+// self-delivery short-circuit (a workbox put in worker mode, the
+// caller's local FIFO inline) — so the two modes cannot drift apart.
+func (d *Demux) route(s int, outs []proto.Output, self func(inbound)) {
 	for _, o := range outs {
 		if o.Msg == nil {
 			continue
@@ -318,7 +367,7 @@ func (d *Demux) emit(s int, outs []proto.Output) {
 		if o.To == proto.Broadcast {
 			for _, to := range d.cfg.All {
 				if to == d.cfg.Self {
-					d.boxes[s].put(inbound{from: d.cfg.Self, m: o.Msg})
+					self(inbound{from: d.cfg.Self, m: o.Msg})
 					continue
 				}
 				d.cfg.Send(to, wrapped)
@@ -326,7 +375,7 @@ func (d *Demux) emit(s int, outs []proto.Output) {
 			continue
 		}
 		if o.To == d.cfg.Self {
-			d.boxes[s].put(inbound{from: d.cfg.Self, m: o.Msg})
+			self(inbound{from: d.cfg.Self, m: o.Msg})
 			continue
 		}
 		d.cfg.Send(o.To, wrapped)

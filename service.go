@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"bgla/internal/batch"
-	"bgla/internal/chanet"
 	"bgla/internal/compact"
 	"bgla/internal/core"
 	"bgla/internal/core/gwts"
@@ -70,6 +69,12 @@ type ServiceConfig struct {
 	// the byte trigger; either threshold firing initiates a
 	// checkpoint).
 	CheckpointBytes int
+
+	// Hooks are test-only fault-injection points: a replacement
+	// transport (the deterministic harness of internal/faultnet) and
+	// per-slot replica wrappers (active Byzantine adversaries,
+	// crash-restart wrappers). Nil in production.
+	Hooks *ServiceHooks
 }
 
 // clientID is the identity the Service uses on the network.
@@ -96,10 +101,10 @@ func (g *gateway) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
 	return nil
 }
 
-// chanetSender adapts the in-process network to the pipeline.
-type chanetSender struct{ net *chanet.Net }
+// transportSender adapts the transport to the pipeline.
+type transportSender struct{ net Transport }
 
-func (s chanetSender) Send(to ident.ProcessID, m msg.Msg) {
+func (s transportSender) Send(to ident.ProcessID, m msg.Msg) {
 	s.net.Inject(clientID, to, m)
 }
 
@@ -113,7 +118,7 @@ func (s chanetSender) Send(to ident.ProcessID, m msg.Msg) {
 // retains the blocking Algorithm 5/6 semantics of the paper's client.
 type Service struct {
 	cfg  ServiceConfig
-	net  *chanet.Net
+	net  Transport
 	gw   *gateway
 	pipe *batch.Pipeline
 	reps []*gwts.Machine
@@ -168,7 +173,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	for i := 0; i < cfg.Replicas; i++ {
 		id := ident.ProcessID(i)
 		if mute.Has(id) {
-			machines = append(machines, &muteMachine{id: id})
+			machines = append(machines, cfg.wrapReplica(0, i, &muteMachine{id: id}))
 			continue
 		}
 		rc := rsm.ReplicaConfig{
@@ -182,10 +187,16 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
-		reps = append(reps, r)
-		machines = append(machines, r)
+		m := cfg.wrapReplica(0, i, r)
+		if m == proto.Machine(r) {
+			// Replaced slots (adversaries) drop out of stats
+			// aggregation; wrapped slots keep their machine via the
+			// hook's own reference.
+			reps = append(reps, r)
+		}
+		machines = append(machines, m)
 	}
-	net := chanet.New(machines, chanet.Options{MaxJitter: cfg.Jitter, Seed: cfg.Seed})
+	net := cfg.newTransport(machines)
 
 	// Trigger new_value at f+1 correct replicas: mute ones would relay
 	// nothing, so target the first f+1 non-mute (correct replicas relay
@@ -207,7 +218,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		MaxInFlight: cfg.MaxInFlight,
 		QueueDepth:  cfg.QueueDepth,
 		OpTimeout:   cfg.OpTimeout,
-	}, chanetSender{net: net})
+	}, transportSender{net: net})
 	if err != nil {
 		return nil, err
 	}

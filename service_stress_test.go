@@ -20,15 +20,20 @@ import (
 //   - updates are visible: the final read reflects every completed
 //     increment.
 func TestServiceConcurrentStress(t *testing.T) {
-	const (
-		workers      = 8
-		opsPerWorker = 12
-	)
+	workers, opsPerWorker := 8, 12
+	if testing.Short() {
+		workers, opsPerWorker = 4, 6
+	}
+	seed := int64(42)
+	if *seedFlag != 0 {
+		seed = *seedFlag
+	}
+	t.Logf("jitter seed %d (replay: go test -run TestServiceConcurrentStress -seed=%d)", seed, seed)
 	svc, err := NewService(ServiceConfig{
 		Replicas: 4, Faulty: 1,
 		MuteReplicas: []int{3},
 		Jitter:       200 * time.Microsecond,
-		Seed:         42,
+		Seed:         seed,
 	})
 	if err != nil {
 		t.Fatal(err)

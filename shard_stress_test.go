@@ -22,19 +22,22 @@ import (
 //   - Scans are monotone per scanner.
 //   - Every completed update is visible to the final scan.
 func TestStoreScanStress(t *testing.T) {
-	const (
-		shards       = 4
-		writers      = 6
-		opsPerWriter = 10
-		scanners     = 3
-		scansEach    = 4
-	)
+	const shards = 4
+	writers, opsPerWriter, scanners, scansEach := 6, 10, 3, 4
+	if testing.Short() {
+		writers, opsPerWriter, scanners, scansEach = 3, 6, 2, 2
+	}
+	seed := int64(99)
+	if *seedFlag != 0 {
+		seed = *seedFlag
+	}
+	t.Logf("jitter seed %d (replay: go test -run TestStoreScanStress -seed=%d)", seed, seed)
 	st, err := NewStore(ShardedConfig{
 		Shards: shards,
 		ServiceConfig: ServiceConfig{
 			Replicas: 4, Faulty: 1,
 			Jitter: 200 * time.Microsecond,
-			Seed:   99,
+			Seed:   seed,
 		},
 		// One mute Byzantine replica per shard, rotating so each
 		// process is mute in exactly one shard.

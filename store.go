@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"bgla/internal/batch"
-	"bgla/internal/chanet"
 	"bgla/internal/compact"
 	"bgla/internal/core"
 	"bgla/internal/core/gwts"
@@ -62,7 +61,7 @@ type ShardedConfig struct {
 //     Scans are totally ordered, like single-lattice reads.
 type Store struct {
 	cfg     ShardedConfig
-	net     *chanet.Net
+	net     Transport
 	demuxes []*shard.Demux
 	pipes   []*batch.Pipeline
 	reps    []*gwts.Machine
@@ -158,18 +157,32 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 			if err != nil {
 				return nil, err
 			}
-			reps = append(reps, r)
-			subs[s] = r
+			m := cfg.wrapReplica(s, i, r)
+			if m == proto.Machine(r) {
+				reps = append(reps, r)
+			}
+			subs[s] = m
 		}
-		d, err := shard.NewDemux(shard.DemuxConfig{Self: id, Subs: subs, All: all})
+		d, err := shard.NewDemux(shard.DemuxConfig{
+			Self: id, Subs: subs, All: all,
+			Inline: cfg.Hooks != nil && cfg.Hooks.InlineShards,
+		})
 		if err != nil {
 			return nil, err
 		}
 		demuxes = append(demuxes, d)
 		machines = append(machines, d)
 	}
-	net := chanet.New(machines, chanet.Options{MaxJitter: cfg.Jitter, Seed: cfg.Seed})
+	net := cfg.newTransport(machines)
+	si, hasSync := net.(syncInjector)
 	for _, d := range demuxes {
+		if hasSync && cfg.Hooks != nil && cfg.Hooks.InlineShards {
+			// Inline demuxes emit on the transport's delivery goroutine:
+			// keep their protocol traffic on the deterministic
+			// machine-sequencing path.
+			d.SetSend(func(to ident.ProcessID, m msg.Msg) { si.InjectSync(d.ID(), to, m) })
+			continue
+		}
 		d.SetSend(func(to ident.ProcessID, m msg.Msg) { net.Inject(d.ID(), to, m) })
 	}
 
@@ -364,11 +377,26 @@ func (st *Store) scanBackoff(ctx context.Context, attempt int) error {
 	}
 }
 
-// collect runs one parallel pass of per-shard confirmed reads and
-// returns the nop-stripped views.
+// collect runs one pass of per-shard confirmed reads and returns the
+// nop-stripped views. The pass is parallel in production; under the
+// deterministic harness (Hooks.InlineShards) it reads shard by shard,
+// so the transport only ever sees one outstanding client burst — the
+// property that makes admission placement timing-independent
+// (internal/faultnet; the double-collect consistency argument of
+// DESIGN.md §5 never depended on intra-pass parallelism).
 func (st *Store) collect(ctx context.Context) ([]lattice.Set, error) {
 	st.scanPasses.Add(1)
 	views := make([]lattice.Set, st.cfg.Shards)
+	if st.cfg.Hooks != nil && st.cfg.Hooks.InlineShards {
+		for s := range st.pipes {
+			v, err := st.pipes[s].Read(ctx)
+			if err != nil {
+				return nil, err
+			}
+			views[s] = rsm.StripNops(v)
+		}
+		return views, nil
+	}
 	errs := make([]error, st.cfg.Shards)
 	var wg sync.WaitGroup
 	for s := range st.pipes {

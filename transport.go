@@ -1,0 +1,93 @@
+package bgla
+
+import (
+	"time"
+
+	"bgla/internal/chanet"
+	"bgla/internal/ident"
+	"bgla/internal/msg"
+	"bgla/internal/proto"
+)
+
+// Transport is the injection point between the public stack and its
+// network: the Service and Store drive any implementation of this
+// surface. The default is the live goroutine network (internal/chanet);
+// the deterministic fault-injection harness (internal/faultnet)
+// implements the same surface, so the entire stack — batching
+// pipelines, shard demuxes, checkpoint compaction, state transfer —
+// runs unmodified under scripted and randomized fault schedules.
+type Transport interface {
+	// Start launches delivery (machine Start outputs included).
+	Start()
+	// Inject delivers a message from an external identity (the client
+	// gateway, a shard pipeline). Safe for concurrent use.
+	Inject(from, to ident.ProcessID, m msg.Msg)
+	// Stop shuts delivery down and waits for quiescence of the
+	// transport's own goroutines. Idempotent.
+	Stop()
+}
+
+// syncInjector is an optional Transport capability: enqueue a message
+// synchronously from within a machine Handle running on the
+// transport's own delivery goroutine, preserving deterministic
+// sequencing. The Store routes inline shard-demux sends through it
+// (faultnet implements it; the live transports don't need it).
+type syncInjector interface {
+	InjectSync(from, to ident.ProcessID, m msg.Msg)
+}
+
+// TransportOptions carries the network knobs of a ServiceConfig to a
+// custom transport constructor.
+type TransportOptions struct {
+	// Jitter is the configured random delivery delay bound.
+	Jitter time.Duration
+	// Seed drives the transport's randomness.
+	Seed int64
+}
+
+// ServiceHooks are test-only fault-injection points (nil in
+// production). They let the deterministic harness substitute the
+// transport underneath an unmodified Service/Store and lift Byzantine
+// adversaries or crash-restart wrappers (internal/byz,
+// compact.Restartable) into full-stack replica slots.
+type ServiceHooks struct {
+	// NewTransport replaces the default chanet transport. The machine
+	// list is the full cluster: replica slots in ID order plus the
+	// client gateway.
+	NewTransport func(machines []proto.Machine, opts TransportOptions) Transport
+
+	// WrapReplica may wrap or replace the machine of replica slot
+	// `replica` in shard `shard` (always 0 for an unsharded Service).
+	// It receives the correct machine the stack built for the slot (or
+	// its mute stand-in) and returns the machine to place on the
+	// network; returning nil keeps the original. Replacing a slot with
+	// an adversary counts it toward the fault bound f — the hook
+	// bypasses the MuteReplicas validation, so scenarios are
+	// responsible for staying within n >= 3f+1.
+	WrapReplica func(shard, replica int, m proto.Machine) proto.Machine
+
+	// InlineShards runs every shard sub-machine inline on the
+	// transport's delivery goroutine instead of on per-shard workers
+	// (shard.Demux). Deterministic transports need this: worker
+	// goroutines would reintroduce scheduling nondeterminism.
+	InlineShards bool
+}
+
+// wrapReplica applies the WrapReplica hook for one slot.
+func (cfg ServiceConfig) wrapReplica(shard, replica int, m proto.Machine) proto.Machine {
+	if cfg.Hooks == nil || cfg.Hooks.WrapReplica == nil {
+		return m
+	}
+	if w := cfg.Hooks.WrapReplica(shard, replica, m); w != nil {
+		return w
+	}
+	return m
+}
+
+// newTransport builds the configured transport (default: chanet).
+func (cfg ServiceConfig) newTransport(machines []proto.Machine) Transport {
+	if cfg.Hooks != nil && cfg.Hooks.NewTransport != nil {
+		return cfg.Hooks.NewTransport(machines, TransportOptions{Jitter: cfg.Jitter, Seed: cfg.Seed})
+	}
+	return chanet.New(machines, chanet.Options{MaxJitter: cfg.Jitter, Seed: cfg.Seed})
+}
