@@ -4,15 +4,16 @@
 // RSM linearizability workload, the crash-stop baseline comparison, the
 // defense ablations, the live batched-vs-unbatched throughput benchmark
 // (E15), the digest/delta wire-codec benchmark (E16), the sharded
-// multi-lattice throughput benchmark (E17) and the checkpointed
-// history-compaction benchmark (E18). The structured E15-E18 reports
-// are written to BENCH_batch.json, BENCH_wire.json, BENCH_shard.json
-// and BENCH_compact.json so the performance trajectory is tracked
-// across PRs.
+// multi-lattice throughput benchmark (E17), the checkpointed
+// history-compaction benchmark (E18) and the durable-WAL benchmark
+// (E19). The structured E15-E19 reports are written to
+// BENCH_batch.json, BENCH_wire.json, BENCH_shard.json,
+// BENCH_compact.json and BENCH_wal.json so the performance trajectory
+// is tracked across PRs.
 //
 // Usage:
 //
-//	bglabench [-quick] [-only E4,E8] [-batchout BENCH_batch.json] [-wireout BENCH_wire.json] [-shardout BENCH_shard.json] [-compactout BENCH_compact.json]
+//	bglabench [-quick] [-only E4,E8] [-batchout BENCH_batch.json] [-wireout BENCH_wire.json] [-shardout BENCH_shard.json] [-compactout BENCH_compact.json] [-walout BENCH_wal.json]
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	wireOut := flag.String("wireout", "BENCH_wire.json", "path for the E16 wire-codec report (empty disables)")
 	shardOut := flag.String("shardout", "BENCH_shard.json", "path for the E17 sharded-store report (empty disables)")
 	compactOut := flag.String("compactout", "BENCH_compact.json", "path for the E18 compaction report (empty disables)")
+	walOut := flag.String("walout", "BENCH_wal.json", "path for the E19 durable-WAL report (empty disables)")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -122,6 +124,25 @@ func main() {
 				} else {
 					fmt.Printf("wrote %s (late/early: %.2fx compacted vs %.2fx unbounded; catch-up via transfer: %v)\n",
 						*compactOut, rep.FlatRatioOn, rep.GrowthRatioOff, rep.CatchUp.CaughtUp)
+				}
+			}
+		}
+	}
+	if selected("E19") {
+		rep, err := exp.WALDurabilityReport(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bglabench: E19: %v\n", err)
+			failed++
+		} else {
+			show(rep.Table())
+			if *walOut != "" {
+				if err := os.WriteFile(*walOut, rep.JSON(), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "bglabench: writing %s: %v\n", *walOut, err)
+					failed++
+				} else {
+					last := rep.Recovery[len(rep.Recovery)-1]
+					fmt.Printf("wrote %s (%d fsync policies; cold recovery at history %d: %.1f ms, %d items from disk)\n",
+						*walOut, len(rep.Policies), last.History, last.RecoverMS, last.RecoveredItems)
 				}
 			}
 		}

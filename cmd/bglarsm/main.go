@@ -13,7 +13,16 @@
 //
 // Usage:
 //
-//	bglarsm -n 4 -f 1 -ops 64 -conc 8 -batch 64 -inflight 8 [-shards 4]
+// With -datadir DIR each replica appends its decided rounds to a
+// per-replica write-ahead log under DIR (internal/wal); rerunning with
+// the same directory restarts the cluster from local disk — recovered
+// commands survive across runs and the client resumes its sequence
+// beyond them. -fsync picks the durability/latency trade
+// (record | group | off).
+//
+// Usage:
+//
+//	bglarsm -n 4 -f 1 -ops 64 -conc 8 -batch 64 -inflight 8 [-shards 4] [-datadir /var/lib/bgla] [-fsync group]
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"bgla/internal/shard"
 	"bgla/internal/sig"
 	"bgla/internal/tcpnet"
+	"bgla/internal/wal"
 )
 
 func main() {
@@ -43,6 +53,8 @@ func main() {
 	batchSize := flag.Int("batch", 64, "max operations per lattice proposal (1 = unbatched)")
 	inflight := flag.Int("inflight", 8, "max pipelined proposals")
 	shards := flag.Int("shards", 1, "independent lattice instances multiplexed over the mesh")
+	datadir := flag.String("datadir", "", "write-ahead-log root directory (empty = in-memory only; an existing directory restarts from disk)")
+	fsync := flag.String("fsync", "group", "WAL fsync policy: record | group | off (with -datadir)")
 	flag.Parse()
 
 	var err error
@@ -50,9 +62,9 @@ func main() {
 	case *shards < 1:
 		err = fmt.Errorf("%d shards", *shards)
 	case *shards > 1:
-		err = runSharded(*n, *f, *shards, *ops, *conc, *batchSize, *inflight)
+		err = runSharded(*n, *f, *shards, *ops, *conc, *batchSize, *inflight, *datadir, *fsync)
 	default:
-		err = run(*n, *f, *ops, *conc, *batchSize, *inflight)
+		err = run(*n, *f, *ops, *conc, *batchSize, *inflight, *datadir, *fsync)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bglarsm: %v\n", err)
@@ -75,7 +87,32 @@ func (g *pipeGateway) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
 	return nil
 }
 
-func run(n, f, ops, conc, batchSize, inflight int) error {
+// openNodeLog opens (and recovers) one replica's durable log when a
+// data directory is configured, returning the persisting machine to
+// place on the node, the recovered command count, and the highest
+// client sequence number found on disk.
+func openNodeLog(datadir, fsync string, shardIdx, replica int, clientID ident.ProcessID, r proto.Machine) (proto.Machine, int, int, error) {
+	if datadir == "" {
+		return r, 0, 0, nil
+	}
+	pol, err := wal.ParsePolicy(fsync)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	p, err := wal.OpenFor(wal.OSFS{}, wal.ReplicaDir(datadir, shardIdx, replica), wal.Options{Policy: pol}, r)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	recovered, maxSeq := 0, 0
+	if rec := p.Recovered(); rec != nil && !rec.Empty() {
+		decided := rec.Decided()
+		recovered = rsm.StripNops(decided).Len()
+		maxSeq = rsm.MaxSeq(clientID, decided)
+	}
+	return p, recovered, maxSeq, nil
+}
+
+func run(n, f, ops, conc, batchSize, inflight int, datadir, fsync string) error {
 	// One extra identity in the PKI: the client node is process n.
 	clientID := ident.ProcessID(n)
 	kc := sig.NewEd25519(n+1, time.Now().UnixNano())
@@ -117,6 +154,7 @@ func run(n, f, ops, conc, batchSize, inflight int) error {
 	// Replica progress is tracked through the node event streams:
 	// machine state must never be read while a node is driving it.
 	progress := make([]replicaProgress, n)
+	recovered, startSeq := 0, 0
 	for i := 0; i < n; i++ {
 		self := ident.ProcessID(i)
 		r, err := rsm.NewReplica(rsm.ReplicaConfig{
@@ -125,9 +163,19 @@ func run(n, f, ops, conc, batchSize, inflight int) error {
 		if err != nil {
 			return err
 		}
+		m, rec, seq, err := openNodeLog(datadir, fsync, 0, i, clientID, r)
+		if err != nil {
+			return err
+		}
+		if rec > recovered {
+			recovered = rec
+		}
+		if seq > startSeq {
+			startSeq = seq
+		}
 		node, err := tcpnet.NewNode(tcpnet.Config{
 			Self: self, Listener: listeners[i], Peers: peersOf(self),
-			Keychain: kc, Machine: r,
+			Keychain: kc, Machine: m,
 		})
 		if err != nil {
 			return err
@@ -135,6 +183,10 @@ func run(n, f, ops, conc, batchSize, inflight int) error {
 		nodes = append(nodes, node)
 		go progress[i].follow(node.Events())
 		node.Start()
+	}
+	if datadir != "" {
+		fmt.Printf("durable WAL under %s (fsync=%s): %d commands recovered, client resumes at seq %d\n",
+			datadir, fsync, recovered, startSeq+1)
 	}
 
 	// The client node: the batching pipeline sends through its
@@ -154,6 +206,7 @@ func run(n, f, ops, conc, batchSize, inflight int) error {
 		F:           f,
 		MaxBatch:    batchSize,
 		MaxInFlight: inflight,
+		StartSeq:    uint64(startSeq),
 	}, clientNode)
 	if err != nil {
 		return err
@@ -176,7 +229,7 @@ func run(n, f, ops, conc, batchSize, inflight int) error {
 		go func() {
 			defer wg.Done()
 			for k := range next {
-				cmd := rsm.UniqueCmd(clientID, k, "inc")
+				cmd := rsm.UniqueCmd(clientID, startSeq+1+k, "inc")
 				if err := pipe.Update(ctx, cmd); err != nil {
 					errs <- fmt.Errorf("op %d: %w", k, err)
 					return
@@ -207,20 +260,21 @@ func run(n, f, ops, conc, batchSize, inflight int) error {
 	fmt.Printf("pipeline: %d flights, avg batch %.2f, max batch %d\n",
 		st.Flights, st.AvgBatch(), st.MaxBatchOps)
 	fmt.Printf("confirmed read: %d commands visible\n", decided)
-	if decided != ops {
-		return fmt.Errorf("read shows %d commands, want %d", decided, ops)
+	want := ops + recovered // this run's commands plus everything recovered from disk
+	if decided != want {
+		return fmt.Errorf("read shows %d commands, want %d", decided, want)
 	}
 	// The confirmed read proves f+1 replicas; wait (bounded) for the
 	// rest of the cluster to catch up, via the event streams.
 	converged := true
 	deadline := time.Now().Add(10 * time.Second)
 	for i := range progress {
-		for progress[i].commands() < ops && time.Now().Before(deadline) {
+		for progress[i].commands() < want && time.Now().Before(deadline) {
 			time.Sleep(5 * time.Millisecond)
 		}
 		cmds, rounds := progress[i].snapshot()
 		fmt.Printf("replica %d: %d commands decided over %d rounds\n", i, cmds, rounds)
-		if cmds < ops {
+		if cmds < want {
 			converged = false
 		}
 	}
@@ -235,7 +289,7 @@ func run(n, f, ops, conc, batchSize, inflight int) error {
 // runSharded deploys S lattice instances per replica node behind
 // shard.Demux machines, all on one TCP mesh, and drives a spread
 // counter workload through S client pipelines.
-func runSharded(n, f, shards, ops, conc, batchSize, inflight int) error {
+func runSharded(n, f, shards, ops, conc, batchSize, inflight int, datadir, fsync string) error {
 	clientID := ident.ProcessID(n)
 	kc := sig.NewEd25519(n+1, time.Now().UnixNano())
 	listeners := make([]net.Listener, n+1)
@@ -277,6 +331,8 @@ func runSharded(n, f, shards, ops, conc, batchSize, inflight int) error {
 			d.Stop()
 		}
 	}()
+	recovered, startSeq := 0, 0
+	recPerShard := make([]int, shards)
 	for i := 0; i < n; i++ {
 		self := ident.ProcessID(i)
 		subs := make([]proto.Machine, shards)
@@ -287,7 +343,17 @@ func runSharded(n, f, shards, ops, conc, batchSize, inflight int) error {
 			if err != nil {
 				return err
 			}
-			subs[s] = r
+			m, rec, seq, err := openNodeLog(datadir, fsync, s, i, clientID, r)
+			if err != nil {
+				return err
+			}
+			if rec > recPerShard[s] {
+				recPerShard[s] = rec
+			}
+			if seq > startSeq {
+				startSeq = seq
+			}
+			subs[s] = m
 		}
 		d, err := shard.NewDemux(shard.DemuxConfig{Self: self, Subs: subs, All: all})
 		if err != nil {
@@ -304,6 +370,14 @@ func runSharded(n, f, shards, ops, conc, batchSize, inflight int) error {
 		demuxes = append(demuxes, d)
 		nodes = append(nodes, node)
 		node.Start()
+	}
+
+	for _, r := range recPerShard {
+		recovered += r
+	}
+	if datadir != "" {
+		fmt.Printf("durable WAL under %s (fsync=%s): %d commands recovered across %d shards, client resumes at seq %d\n",
+			datadir, fsync, recovered, shards, startSeq+1)
 	}
 
 	gw := shard.NewGateway(clientID, shards)
@@ -323,6 +397,7 @@ func runSharded(n, f, shards, ops, conc, batchSize, inflight int) error {
 			F:           f,
 			MaxBatch:    batchSize,
 			MaxInFlight: inflight,
+			StartSeq:    uint64(startSeq),
 		}, shard.NewSender(s, clientNode.Send))
 		if err != nil {
 			return err
@@ -347,8 +422,9 @@ func runSharded(n, f, shards, ops, conc, batchSize, inflight int) error {
 		go func() {
 			defer wg.Done()
 			for k := range next {
-				cmd := rsm.UniqueCmd(clientID, k, "inc")
-				s := shard.Route("inc", uint64(k), shards)
+				seq := startSeq + 1 + k
+				cmd := rsm.UniqueCmd(clientID, seq, "inc")
+				s := shard.Route("inc", uint64(seq), shards)
 				if err := pipes[s].Update(ctx, cmd); err != nil {
 					errs <- fmt.Errorf("op %d (shard %d): %w", k, s, err)
 					return
@@ -382,8 +458,9 @@ func runSharded(n, f, shards, ops, conc, batchSize, inflight int) error {
 	fmt.Printf("\nreplicated %d commands across %d shards in %v (%.0f ops/sec aggregate)\n",
 		ops, shards, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds())
 	fmt.Printf("confirmed merged read: %d commands visible\n", decided)
-	if decided != ops {
-		return fmt.Errorf("merged reads show %d commands, want %d", decided, ops)
+	want := ops + recovered
+	if decided != want {
+		return fmt.Errorf("merged reads show %d commands, want %d", decided, want)
 	}
 	fmt.Println("per-shard reads confirmed: each shard's decisions form a single growing chain")
 	return nil

@@ -32,6 +32,7 @@ import (
 	"bgla/internal/proto"
 	"bgla/internal/rsm"
 	"bgla/internal/sig"
+	"bgla/internal/wal"
 )
 
 var (
@@ -57,7 +58,29 @@ type harness struct {
 	reps     map[int]map[int]*gwts.Machine
 	wrappers map[int]map[int]*compact.Restartable
 
+	// Durable-storage state (scenarios with cfg.durable): the shared
+	// deterministic filesystem, per-slot fault hooks, the persister
+	// currently serving each slot, and the persisters swapped in by
+	// restartFromDisk (closed at finish — Service.Close only knows the
+	// originals).
+	mfs       *wal.MemFS
+	walHooks  map[[2]int]*wal.Hooks
+	walPolicy wal.SyncPolicy
+	pers      map[int]map[int]*wal.Persister
+	freshPers []*wal.Persister
+
 	updates int // mirrors the Service/Store sequence counter
+}
+
+// storHook returns the (memoized) storage fault hooks for one slot, so
+// the log opened at launch and the one opened by restartFromDisk share
+// the same injection point.
+func (h *harness) storHook(shard, slot int) *wal.Hooks {
+	k := [2]int{shard, slot}
+	if h.walHooks[k] == nil {
+		h.walHooks[k] = &wal.Hooks{}
+	}
+	return h.walHooks[k]
 }
 
 // scenarioConfig declares one scenario's cluster and faults.
@@ -76,6 +99,12 @@ type scenarioConfig struct {
 	// restartable lists (shard, slot) pairs to wrap for crash-restart.
 	restartable [][2]int
 	mutes       []int
+	// durable runs every replica on the WAL storage engine over a
+	// deterministic in-memory filesystem (wal.MemFS); restartable slots
+	// can then restart *from disk* via restartFromDisk. syncMode is the
+	// fsync policy ("" = group commit).
+	durable  bool
+	syncMode string
 }
 
 // launch builds the stack on the harness network.
@@ -85,7 +114,17 @@ func launch(t *testing.T, seed int64, sc scenarioConfig) *harness {
 		t: t, seed: seed, trace: &faultnet.Trace{},
 		reps:     map[int]map[int]*gwts.Machine{},
 		wrappers: map[int]map[int]*compact.Restartable{},
+		pers:     map[int]map[int]*wal.Persister{},
+		walHooks: map[[2]int]*wal.Hooks{},
 		obs:      &faultnet.RunObs{N: sc.replicas, F: sc.faulty},
+	}
+	if sc.durable {
+		h.mfs = wal.NewMemFS()
+		pol, err := wal.ParsePolicy(sc.syncMode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.walPolicy = pol
 	}
 	if sc.ckptEvery > 0 {
 		h.kc = sig.NewSim(sc.replicas, seed+0x5eed)
@@ -109,7 +148,17 @@ func launch(t *testing.T, seed int64, sc scenarioConfig) *harness {
 			return h.net
 		},
 		WrapReplica: func(shard, slot int, m proto.Machine) proto.Machine {
-			if r, ok := m.(*gwts.Machine); ok {
+			inner := m
+			if p, ok := m.(*wal.Persister); ok {
+				// Durable slot: observe through the persister at the
+				// wrapped gwts machine.
+				if h.pers[shard] == nil {
+					h.pers[shard] = map[int]*wal.Persister{}
+				}
+				h.pers[shard][slot] = p
+				inner = p.Inner()
+			}
+			if r, ok := inner.(*gwts.Machine); ok {
 				if h.reps[shard] == nil {
 					h.reps[shard] = map[int]*gwts.Machine{}
 				}
@@ -140,6 +189,11 @@ func launch(t *testing.T, seed int64, sc scenarioConfig) *harness {
 		Seed:            seed,
 		CheckpointEvery: sc.ckptEvery,
 		Hooks:           hooks,
+	}
+	if sc.durable {
+		cfg.DataDir = "data"
+		cfg.SyncMode = sc.syncMode
+		hooks.Storage = &StorageHooks{FS: h.mfs, Hooks: h.storHook}
 	}
 	if sc.shards > 1 {
 		st, err := NewStore(ShardedConfig{Shards: sc.shards, ServiceConfig: cfg})
@@ -229,6 +283,52 @@ func (h *harness) restart(shard, slot, shards, ckptEvery int) *gwts.Machine {
 	return fresh
 }
 
+// restartFromDisk swaps a fresh replica into a crashed durable slot,
+// rehydrated from its WAL + persisted checkpoint on the harness MemFS
+// — the restart path a real process takes. Call only at a quiesced
+// point. Returns the fresh machine; its persister is h.pers[shard][slot].
+func (h *harness) restartFromDisk(shard, slot, shards, ckptEvery int) *gwts.Machine {
+	h.t.Helper()
+	if h.mfs == nil {
+		h.t.Fatal("restartFromDisk on a non-durable scenario")
+	}
+	every := ckptEvery
+	if shards > 1 {
+		every = compact.ScaleEvery(ckptEvery, shards)
+	}
+	rc := rsm.ReplicaConfig{
+		Self: ident.ProcessID(slot), N: h.obs.N, F: h.obs.F,
+		Clients: []ident.ProcessID{clientID},
+	}
+	if h.kc != nil {
+		rc.Compaction = compact.Config{
+			Self: ident.ProcessID(slot), N: h.obs.N, F: h.obs.F,
+			Keychain: h.kc, Signer: h.kc.SignerFor(ident.ProcessID(slot)),
+			Every: every,
+		}
+	}
+	fresh, err := rsm.NewReplica(rc)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	p, err := wal.OpenFor(h.mfs, wal.ReplicaDir("data", shard, slot), wal.Options{
+		Policy: h.walPolicy, Hooks: h.storHook(shard, slot),
+	}, fresh)
+	if err != nil {
+		h.t.Fatalf("seed %d: reopen WAL shard %d slot %d: %v", h.seed, shard, slot, err)
+	}
+	h.freshPers = append(h.freshPers, p)
+	h.pers[shard][slot] = p
+	h.wrappers[shard][slot].Swap(p)
+	h.reps[shard][slot] = fresh
+	kick := msg.Msg(msg.Wakeup{Tag: "rejoin"})
+	if shards > 1 {
+		kick = msg.ShardMsg{Shard: shard, Inner: kick}
+	}
+	h.net.Inject(clientID, ident.ProcessID(slot), kick)
+	return fresh
+}
+
 // finish quiesces, takes a final read, collects replica observations,
 // shuts the stack down, and returns the run observations.
 func (h *harness) finish() *faultnet.RunObs {
@@ -240,6 +340,11 @@ func (h *harness) finish() *faultnet.RunObs {
 		h.store.Close()
 	} else {
 		h.svc.Close()
+	}
+	// Close() only knows the launch-time persisters; close the ones
+	// swapped in by restartFromDisk ourselves.
+	for _, p := range h.freshPers {
+		_ = p.Close()
 	}
 	// The transport has stopped: machine state is stable now.
 	for shard, slots := range h.reps {
@@ -492,6 +597,178 @@ var scenarios = []fullStackScenario{
 					h.t.Fatalf("seed %d: shard %d restarted replica never used state transfer: %+v", h.seed, s, st)
 				}
 			}
+		},
+	},
+	{
+		// The durability acceptance bar: a 4-replica cluster is fully
+		// killed by a power loss with no surviving peer; every replica
+		// restarts from its local WAL + persisted checkpoint alone and
+		// the cluster serves a confirmed read of everything it had
+		// decided — with zero peer state transfer, since every disk is
+		// intact (record-level fsync ⇒ power loss drops nothing).
+		name: "wal-cold-restart-no-peer",
+		cfg: scenarioConfig{replicas: 4, faulty: 1, ckptEvery: 12,
+			durable: true, syncMode: "record",
+			restartable: [][2]int{{0, 0}, {0, 1}, {0, 2}, {0, 3}}},
+		workload: func(h *harness) {
+			const n = 20
+			for k := 0; k < n; k++ {
+				h.update(AddCmd(fmt.Sprintf("cold-%02d", k)))
+			}
+			h.quiesce()
+			for slot := 0; slot < 4; slot++ {
+				h.wrappers[0][slot].Crash()
+			}
+			h.mfs.Crash("", true) // whole-machine power loss
+			for slot := 0; slot < 4; slot++ {
+				h.restartFromDisk(0, slot, 1, 12)
+			}
+			h.quiesce()
+			for slot := 0; slot < 4; slot++ {
+				rec := h.pers[0][slot].Recovered()
+				if rec == nil || rec.Decided().Len() < n {
+					h.t.Fatalf("seed %d: slot %d recovered %v items from disk, want >= %d",
+						h.seed, slot, rec.Decided().Len(), n)
+				}
+			}
+			items := h.read() // confirmed read, served by the reborn cluster
+			if got := len(SetView(items)); got != n {
+				h.t.Fatalf("seed %d: post-restart read has %d items, want %d", h.seed, got, n)
+			}
+			h.quiesce()
+			for slot := 0; slot < 4; slot++ {
+				cs := h.reps[0][slot].CompactionStats()
+				if cs.TransfersRequested != 0 || cs.TransfersReceived != 0 {
+					h.t.Fatalf("seed %d: slot %d restarted from intact disk but used state transfer: %+v",
+						h.seed, slot, cs)
+				}
+			}
+			h.update(AddCmd("cold-after")) // the reborn cluster keeps deciding
+			h.quiesce()
+		},
+	},
+	{
+		// Satellite guarantee: a replica restarting over an intact disk
+		// consults local storage first and never asks a peer — zero
+		// state_req round-trips.
+		name: "wal-intact-restart-zero-transfer",
+		cfg: scenarioConfig{replicas: 4, faulty: 1, ckptEvery: 16,
+			durable: true, syncMode: "record", restartable: [][2]int{{0, 3}}},
+		workload: func(h *harness) {
+			for k := 0; k < 16; k++ {
+				h.update(AddCmd(fmt.Sprintf("zt-%02d", k)))
+			}
+			h.quiesce()
+			// Process crash, not power loss: the disk keeps everything.
+			h.wrappers[0][3].Crash()
+			h.mfs.Crash(wal.ReplicaDir("data", 0, 3), false)
+			fresh := h.restartFromDisk(0, 3, 1, 16)
+			h.quiesce()
+			rec := h.pers[0][3].Recovered()
+			if rec == nil || rec.Decided().Len() < 16 || !rec.HasCkpt {
+				h.t.Fatalf("seed %d: restart did not recover local state (ckpt=%v)", h.seed, rec != nil && rec.HasCkpt)
+			}
+			for k := 0; k < 6; k++ {
+				h.update(AddCmd(fmt.Sprintf("zt-post-%02d", k)))
+			}
+			h.quiesce()
+			if cs := fresh.CompactionStats(); cs.TransfersRequested != 0 || cs.TransfersReceived != 0 {
+				h.t.Fatalf("seed %d: intact-disk restart used peer state transfer: %+v", h.seed, cs)
+			}
+		},
+	},
+	{
+		// A torn write at the tail of replica 3's WAL (crash mid-append,
+		// injected at the record boundary via the storage hook seam):
+		// recovery detects the damage by CRC, discards from the tear on,
+		// and the lost tail heals through checkpoint-driven state
+		// transfer — local disk first, peers only for the gap.
+		name: "wal-torn-tail",
+		cfg: scenarioConfig{replicas: 4, faulty: 1, ckptEvery: 8,
+			durable: true, syncMode: "record", restartable: [][2]int{{0, 3}}},
+		workload: func(h *harness) {
+			for k := 0; k < 10; k++ {
+				h.update(AddCmd(fmt.Sprintf("tt-%02d", k)))
+			}
+			h.quiesce()
+			torn := false
+			h.storHook(0, 3).SetWriteRecord(func(kind string, frame []byte) []byte {
+				if torn || kind != "dec" {
+					return frame
+				}
+				torn = true
+				return frame[:len(frame)/2]
+			})
+			h.update(AddCmd("tt-torn")) // replica 3 persists this one half-written
+			h.quiesce()
+			h.storHook(0, 3).SetWriteRecord(nil)
+			if !torn {
+				h.t.Fatalf("seed %d: torn-write hook never fired", h.seed)
+			}
+			h.wrappers[0][3].Crash()
+			h.mfs.Crash(wal.ReplicaDir("data", 0, 3), true)
+			for k := 0; k < 6; k++ {
+				h.update(AddCmd(fmt.Sprintf("tt-down-%02d", k)))
+			}
+			h.quiesce()
+			fresh := h.restartFromDisk(0, 3, 1, 8)
+			h.quiesce()
+			rec := h.pers[0][3].Recovered()
+			if rec == nil || !rec.TornTail {
+				h.t.Fatalf("seed %d: recovery did not flag the torn tail: %+v", h.seed, rec)
+			}
+			// Keep deciding past the next checkpoint: its base digest is
+			// unresolvable from replica 3's truncated local state, so the
+			// tail arrives by state transfer.
+			for k := 0; k < 10; k++ {
+				h.update(AddCmd(fmt.Sprintf("tt-post-%02d", k)))
+			}
+			h.quiesce()
+			cs := fresh.CompactionStats()
+			if cs.TransfersReceived < 1 {
+				h.t.Fatalf("seed %d: torn tail never healed via state transfer: %+v", h.seed, cs)
+			}
+			if fresh.Decided().Len() < 24 {
+				h.t.Fatalf("seed %d: healed replica decided only %d items", h.seed, fresh.Decided().Len())
+			}
+		},
+	},
+	{
+		// Cold restart of the sharded Store: both shards' replicas all
+		// die in one power loss and restart from their per-shard
+		// per-replica data directories.
+		name: "store-wal-cold-restart",
+		cfg: scenarioConfig{shards: 2, replicas: 4, faulty: 1, ckptEvery: 12,
+			durable: true, syncMode: "record",
+			restartable: [][2]int{
+				{0, 0}, {0, 1}, {0, 2}, {0, 3},
+				{1, 0}, {1, 1}, {1, 2}, {1, 3},
+			}},
+		workload: func(h *harness) {
+			const n = 16
+			for k := 0; k < n; k++ {
+				h.update(AddCmd(fmt.Sprintf("sk-%02d", k)))
+			}
+			h.quiesce()
+			for s := 0; s < 2; s++ {
+				for slot := 0; slot < 4; slot++ {
+					h.wrappers[s][slot].Crash()
+				}
+			}
+			h.mfs.Crash("", true)
+			for s := 0; s < 2; s++ {
+				for slot := 0; slot < 4; slot++ {
+					h.restartFromDisk(s, slot, 2, 12)
+				}
+			}
+			h.quiesce()
+			items := h.read() // cross-shard Scan over the reborn store
+			if got := len(SetView(items)); got != n {
+				h.t.Fatalf("seed %d: post-restart Scan has %d items, want %d", h.seed, got, n)
+			}
+			h.quiesce()
+			h.update(AddCmd("sk-after"))
+			h.quiesce()
 		},
 	},
 	{

@@ -90,6 +90,13 @@ type Config struct {
 	// completion — queueing delay under backpressure counts against it
 	// (default 30s).
 	OpTimeout time.Duration
+	// StartSeq seeds the flight sequence counter (first flight gets
+	// StartSeq+1). A client restarting over durable replica state must
+	// seed this past its previous incarnation's sequences (see
+	// rsm.MaxSeq): flight sequences author the read nop markers, and a
+	// reused marker is already in the decided set — absorbed without a
+	// fresh decision, so its confirmation would never arrive.
+	StartSeq uint64
 }
 
 func (c *Config) applyDefaults() error {
@@ -236,6 +243,7 @@ func New(cfg Config, send Sender) (*Pipeline, error) {
 		tokens:  make(chan struct{}, cfg.MaxInFlight),
 		closed:  make(chan struct{}),
 		flights: make(map[uint64]*flight),
+		seq:     cfg.StartSeq,
 	}
 	p.wg.Add(2)
 	go p.collect()

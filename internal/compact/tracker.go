@@ -51,9 +51,13 @@ type Stats struct {
 	SigsIssued int64
 	CertsBuilt int64
 	// TransfersServed / TransfersReceived count state-transfer
-	// replies sent to and installs completed from StateRep messages.
-	TransfersServed   int64
-	TransfersReceived int64
+	// replies sent to and installs completed from StateRep messages;
+	// TransfersRequested counts the state_req round-trips we initiated
+	// (a restarted replica with an intact local disk should need none —
+	// internal/wal).
+	TransfersServed    int64
+	TransfersReceived  int64
+	TransfersRequested int64
 }
 
 // sigKey identifies an issued countersignature.
@@ -102,7 +106,7 @@ type Tracker struct {
 	pending []msg.CkptProp
 
 	stInstalls, stSigs, stCerts, stServed, stReceived atomic.Int64
-	stEpoch, stBaseLen                                atomic.Int64
+	stRequested, stEpoch, stBaseLen                   atomic.Int64
 }
 
 // NewTracker builds a tracker; it returns nil when cfg has no trigger,
@@ -141,6 +145,16 @@ func (t *Tracker) Stats() Stats {
 		Installs: t.stInstalls.Load(), Epoch: t.stEpoch.Load(), BaseLen: t.stBaseLen.Load(),
 		SigsIssued: t.stSigs.Load(), CertsBuilt: t.stCerts.Load(),
 		TransfersServed: t.stServed.Load(), TransfersReceived: t.stReceived.Load(),
+		TransfersRequested: t.stRequested.Load(),
+	}
+}
+
+// NoteStateReq counts a state-transfer request the owning machine is
+// about to send (it could not resolve a verified certificate's prefix
+// from local state).
+func (t *Tracker) NoteStateReq() {
+	if t != nil {
+		t.stRequested.Add(1)
 	}
 }
 

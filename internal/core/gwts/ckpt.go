@@ -132,6 +132,7 @@ func (m *Machine) ckInstallFrom(from ident.ProcessID, c msg.CkptCert) []proto.Ou
 		return m.applyInstall(inst)
 	}
 	if needState && from != m.cfg.Self {
+		m.ck.NoteStateReq()
 		return []proto.Output{proto.Send(from, msg.StateReq{Dig: c.Dig})}
 	}
 	return nil
@@ -222,6 +223,10 @@ func (m *Machine) applyInstall(inst *compact.Install) []proto.Output {
 	if round > m.safeR {
 		m.safeR = round
 	}
+	// The install point is where the durable checkpoint store hooks in
+	// (internal/wal): emitted after the DecideEvent above, so the
+	// storage layer sees the decided growth before the snapshot cut.
+	m.Emit(proto.CkptInstallEvent{Proc: m.cfg.Self, Cert: inst.Cert, Value: inst.Value})
 	// A round at or below the certificate round is superseded: its
 	// outcome is covered by the checkpoint, and a lagging replica could
 	// otherwise stall waiting for disclosures that were broadcast while

@@ -152,6 +152,33 @@ func TestE18Compaction(t *testing.T) {
 	}
 }
 
+func TestE19WALDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-runtime experiment")
+	}
+	rep, err := WALDurabilityReport(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Policies) != 3 {
+		t.Fatalf("want record/group/off rows, got %d", len(rep.Policies))
+	}
+	if len(rep.JSON()) == 0 {
+		t.Fatal("empty JSON report")
+	}
+	if !rep.PassPolicies {
+		t.Fatalf("a policy failed to sustain the workload: %+v", rep.Policies)
+	}
+	if !rep.PassRecovery {
+		t.Fatalf("cold restart did not serve its full history from disk: %+v", rep.Recovery)
+	}
+	for _, row := range rep.Recovery {
+		if row.RecoveredItems == 0 {
+			t.Fatalf("recovery row replayed nothing from disk: %+v", row)
+		}
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tbl := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}, Pass: true}
 	tbl.AddRow(1, 2.5)
@@ -178,14 +205,14 @@ func TestPluralAndItoa(t *testing.T) {
 }
 
 // TestAllAggregatesEveryExperiment exercises the cmd/bglabench entry
-// point: all eighteen tables, trimmed sweeps, every one passing.
+// point: all nineteen tables, trimmed sweeps, every one passing.
 func TestAllAggregatesEveryExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("aggregate sweep")
 	}
 	tables := All(true)
-	if len(tables) != 18 {
-		t.Fatalf("All returned %d tables, want 18", len(tables))
+	if len(tables) != 19 {
+		t.Fatalf("All returned %d tables, want 19", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tbl := range tables {
@@ -209,7 +236,7 @@ func TestAllAggregatesEveryExperiment(t *testing.T) {
 			t.Errorf("%s is empty", tbl.ID)
 		}
 	}
-	for i := 1; i <= 18; i++ {
+	for i := 1; i <= 19; i++ {
 		id := "E" + itoa(i)
 		if !seen[id] {
 			t.Errorf("experiment %s missing from All", id)

@@ -1,0 +1,265 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"bgla"
+)
+
+// E19 — durable storage engine. Every replica appends its decided
+// rounds to a per-replica write-ahead log and persists installed
+// checkpoint certificates as snapshots (internal/wal), so a replica —
+// or the whole cluster — restarts from local disk alone. Two
+// properties are measured on the live stack:
+//
+//  1. The fsync-policy throughput trade: per-record fsync (strict
+//     power-loss durability) vs group commit vs no fsync (process-
+//     crash-only durability), same workload, ops/s side by side.
+//
+//  2. Cold recovery from local disk: after a clean shutdown at
+//     history H, how long does bringing the cluster back up take, and
+//     how much does it replay? With checkpointed snapshots recovery
+//     replays only the O(window) tail beyond the newest certificate —
+//     recovery work tracks the window, not the history — and the
+//     restarted cluster must serve a confirmed read of all H commands
+//     without any peer state transfer.
+
+// WALPolicyRow is one fsync policy's measured throughput.
+type WALPolicyRow struct {
+	Policy    string  `json:"policy"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Records   int64   `json:"records"`
+	Syncs     int64   `json:"syncs"`
+	MBLogged  float64 `json:"mb_logged"`
+}
+
+// WALRecoveryRow is one cold-restart measurement at a given history.
+type WALRecoveryRow struct {
+	History         int     `json:"history"`
+	CheckpointEvery int     `json:"checkpoint_every"`
+	RecoverMS       float64 `json:"recover_ms"`
+	RecoveredItems  int64   `json:"recovered_items"`
+	// RecoveredRecords is the number of log records replayed across
+	// the cluster — O(window) with checkpoints, O(history) without.
+	RecoveredRecords int64 `json:"recovered_records"`
+	Visible          int   `json:"visible_after_restart"`
+}
+
+// WALBenchReport aggregates E19; cmd/bglabench serializes it to
+// BENCH_wal.json.
+type WALBenchReport struct {
+	Experiment   string           `json:"experiment"`
+	Replicas     int              `json:"replicas"`
+	Faulty       int              `json:"faulty"`
+	Policies     []WALPolicyRow   `json:"policies"`
+	Recovery     []WALRecoveryRow `json:"recovery"`
+	PassPolicies bool             `json:"pass_policies"`
+	PassRecovery bool             `json:"pass_recovery"`
+}
+
+// JSON renders the report (indented, trailing newline).
+func (r *WALBenchReport) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // static struct: cannot fail
+	}
+	return append(out, '\n')
+}
+
+// walServiceConfig is the common cluster shape of both sweeps.
+func walServiceConfig(dir, policy string, every int) bgla.ServiceConfig {
+	return bgla.ServiceConfig{
+		Replicas: 4, Faulty: 1, Seed: 1,
+		DataDir: dir, SyncMode: policy,
+		CheckpointEvery: every,
+		MaxBatch:        16, MaxInFlight: 8,
+	}
+}
+
+// walDrive applies ops unique commands through conc workers.
+func walDrive(svc *bgla.Service, tag string, ops, conc int) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, conc)
+	next := make(chan int, ops)
+	for k := 0; k < ops; k++ {
+		next <- k
+	}
+	close(next)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				if err := svc.Update(bgla.AddCmd(fmt.Sprintf("%s-%05d", tag, k))); err != nil {
+					errs <- fmt.Errorf("op %d: %w", k, err)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWALPolicy measures one fsync policy under the common workload.
+func runWALPolicy(policy string, ops, conc int) (WALPolicyRow, error) {
+	row := WALPolicyRow{Policy: policy, Ops: ops}
+	dir, err := os.MkdirTemp("", "bgla-e19-")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	svc, err := bgla.NewService(walServiceConfig(dir, policy, 256))
+	if err != nil {
+		return row, err
+	}
+	defer svc.Close()
+	start := time.Now()
+	if err := walDrive(svc, "p", ops, conc); err != nil {
+		return row, fmt.Errorf("policy %s: %w", policy, err)
+	}
+	elapsed := time.Since(start)
+	row.OpsPerSec = float64(ops) / elapsed.Seconds()
+	st := svc.StorageStats()
+	row.Records, row.Syncs = st.Records, st.Syncs
+	row.MBLogged = float64(st.Bytes) / (1 << 20)
+	if st.Records == 0 {
+		return row, fmt.Errorf("policy %s: no WAL records written", policy)
+	}
+	return row, nil
+}
+
+// runWALRecovery measures a cold restart after a clean shutdown at the
+// given history.
+func runWALRecovery(history, every, conc int) (WALRecoveryRow, error) {
+	row := WALRecoveryRow{History: history, CheckpointEvery: every}
+	dir, err := os.MkdirTemp("", "bgla-e19-")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := walServiceConfig(dir, "group", every)
+	svc, err := bgla.NewService(cfg)
+	if err != nil {
+		return row, err
+	}
+	if err := walDrive(svc, "r", history, conc); err != nil {
+		svc.Close()
+		return row, err
+	}
+	svc.Close()
+
+	start := time.Now()
+	svc2, err := bgla.NewService(cfg) // restart from local disk alone
+	if err != nil {
+		return row, err
+	}
+	row.RecoverMS = float64(time.Since(start)) / float64(time.Millisecond)
+	defer svc2.Close()
+	st := svc2.StorageStats()
+	row.RecoveredItems = st.RecoveredItems
+	row.RecoveredRecords = st.RecoveredRecords
+	state, err := svc2.Read()
+	if err != nil {
+		return row, fmt.Errorf("post-restart read: %w", err)
+	}
+	row.Visible = len(bgla.SetView(state))
+	cs := svc2.CompactionStats()
+	if cs.TransfersRequested != 0 {
+		return row, fmt.Errorf("intact-disk restart requested %d peer state transfers", cs.TransfersRequested)
+	}
+	return row, nil
+}
+
+// WALDurabilityReport (E19) measures the fsync-policy throughput trade
+// and cold recovery from local disk.
+func WALDurabilityReport(quick bool) (*WALBenchReport, error) {
+	ops, conc, every := 400, 16, 64
+	histories := []int{200, 400, 800}
+	if quick {
+		ops = 120
+		histories = []int{60, 120}
+	}
+	if raceEnabled {
+		ops = 48
+		histories = []int{40}
+	}
+	rep := &WALBenchReport{
+		Experiment: "durable WAL — fsync-policy throughput + cold recovery from local disk",
+		Replicas:   4,
+		Faulty:     1,
+	}
+	for _, policy := range []string{"record", "group", "off"} {
+		row, err := runWALPolicy(policy, ops, conc)
+		if err != nil {
+			return nil, err
+		}
+		rep.Policies = append(rep.Policies, row)
+	}
+	rep.PassPolicies = true
+	for _, row := range rep.Policies {
+		if row.OpsPerSec <= 0 {
+			rep.PassPolicies = false
+		}
+	}
+
+	rep.PassRecovery = true
+	for _, h := range histories {
+		row, err := runWALRecovery(h, every, conc)
+		if err != nil {
+			return nil, err
+		}
+		rep.Recovery = append(rep.Recovery, row)
+		if row.Visible != h || row.RecoveredItems == 0 {
+			rep.PassRecovery = false
+		}
+	}
+	return rep, nil
+}
+
+// Table renders the report as the E19 experiment table.
+func (r *WALBenchReport) Table() *Table {
+	t := &Table{
+		ID:      "E19",
+		Title:   "durable WAL — fsync-policy throughput + cold recovery from local disk",
+		Columns: []string{"kind", "config", "ops/history", "ops/s", "recover ms", "records", "syncs", "visible"},
+		Pass:    r.PassPolicies && r.PassRecovery,
+	}
+	for _, row := range r.Policies {
+		t.AddRow("fsync", row.Policy, row.Ops, row.OpsPerSec, "-", row.Records, row.Syncs, "-")
+	}
+	for _, row := range r.Recovery {
+		t.AddRow("recovery", fmt.Sprintf("every=%d", row.CheckpointEvery), row.History,
+			"-", row.RecoverMS, row.RecoveredRecords, "-", row.Visible)
+	}
+	t.Note("4 replicas (f=1), per-replica WAL + persisted checkpoints under a temp dir, clean shutdown before restart")
+	t.Note("pass requires every policy to sustain the workload and every cold restart to serve its full history from local disk with zero peer state transfers")
+	return t
+}
+
+// WALDurability (E19) is the Table-producing wrapper used by All.
+func WALDurability(quick bool) *Table {
+	rep, err := WALDurabilityReport(quick)
+	if err != nil {
+		t := &Table{
+			ID:      "E19",
+			Title:   "durable WAL — fsync-policy throughput + cold recovery from local disk",
+			Columns: []string{"error"},
+		}
+		t.AddRow(err.Error())
+		return t
+	}
+	return rep.Table()
+}

@@ -105,6 +105,19 @@ type ClientDoneEvent struct {
 
 func (ClientDoneEvent) isEvent() {}
 
+// CkptInstallEvent reports that a replica installed a verified
+// checkpoint certificate — locally assembled, received by broadcast,
+// or completed via state transfer. The durable storage engine
+// (internal/wal) snapshots the certified prefix at exactly this
+// point, so the on-disk checkpoint store tracks the protocol's.
+type CkptInstallEvent struct {
+	Proc  ident.ProcessID
+	Cert  msg.CkptCert
+	Value lattice.Set
+}
+
+func (CkptInstallEvent) isEvent() {}
+
 // RejectEvent reports that a machine discarded a malformed or
 // unauthenticated message (diagnostics for fault-injection tests).
 type RejectEvent struct {

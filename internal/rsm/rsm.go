@@ -51,6 +51,50 @@ func StripNops(s lattice.Set) lattice.Set {
 	return lattice.FromItems(items...)
 }
 
+// MaxSeq scans a state for the highest sequence number the given
+// client has used, across update uniqueness suffixes and read nop
+// markers alike. A restarted client must resume its sequence beyond
+// this: the lattice is a set, so a reused (client, seq) pair makes a
+// fresh command or read marker identical to a recovered item — it is
+// silently absorbed, no new decision carries it, and its confirmation
+// never arrives.
+func MaxSeq(client ident.ProcessID, s lattice.Set) int {
+	max := 0
+	s.Each(func(it lattice.Item) bool {
+		if it.Author != client {
+			return true
+		}
+		sep := "\x00"
+		if IsNop(it) {
+			sep = "|"
+		}
+		if i := strings.LastIndex(it.Body, sep); i >= 0 {
+			if v, ok := atoi(it.Body[i+1:]); ok && v > max {
+				max = v
+			}
+		}
+		return true
+	})
+	return max
+}
+
+func atoi(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	v := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+		if v < 0 { // overflow
+			return 0, false
+		}
+	}
+	return v, true
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

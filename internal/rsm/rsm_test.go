@@ -298,3 +298,26 @@ func TestReadValidityCheckerCatchesFabrication(t *testing.T) {
 		t.Fatalf("ReadValidity = %v", v)
 	}
 }
+
+func TestMaxSeqResumesClientSequence(t *testing.T) {
+	client := ident.ProcessID(100)
+	s := lattice.FromItems(
+		UniqueCmd(client, 3, "a"),
+		UniqueCmd(client, 12, "b"),
+		NopCmd(client, 9),
+		UniqueCmd(7, 99, "another client's sequence is not ours"),
+		lattice.Item{Author: client, Body: "no suffix at all"},
+	)
+	if got := MaxSeq(client, s); got != 12 {
+		t.Fatalf("MaxSeq = %d, want 12", got)
+	}
+	if got := MaxSeq(client, lattice.Empty()); got != 0 {
+		t.Fatalf("MaxSeq(empty) = %d, want 0", got)
+	}
+	// A reused sequence is the failure MaxSeq exists to prevent: the
+	// next seq after resume must mint an item outside the recovered set.
+	next := MaxSeq(client, s) + 1
+	if s.Contains(NopCmd(client, next)) || s.Contains(UniqueCmd(client, next, "a")) {
+		t.Fatal("resumed sequence collides with recovered state")
+	}
+}

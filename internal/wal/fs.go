@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS abstracts the filesystem underneath a log, so the deterministic
+// harness can substitute MemFS (with power-loss semantics and fault
+// hooks) while production runs on the real disk (OSFS). Paths use
+// forward slashes; implementations may map them.
+type FS interface {
+	// MkdirAll ensures the directory (and parents) exist.
+	MkdirAll(dir string) error
+	// ReadFile returns a file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// Create opens a new file for appending, truncating any existing one.
+	Create(name string) (File, error)
+	// List returns the names (not paths) of the directory's files, sorted.
+	List(dir string) ([]string, error)
+	// Rename atomically replaces newName with oldName's file.
+	Rename(oldName, newName string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts a file to size bytes (torn-tail healing).
+	Truncate(name string, size int64) error
+	// SyncDir makes directory-level mutations (create/rename/remove)
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is an append-only file handle.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync makes everything written so far durable.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// List implements FS.
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldName, newName string) error { return os.Rename(oldName, newName) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements FS: fsync the directory fd so creates and
+// renames survive power loss (the tmp-write + rename + dir-sync
+// pattern used for snapshots).
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,217 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is the deterministic in-memory filesystem of the fault
+// harness. It tracks, per file, how many bytes have been fsynced, so
+// a simulated power loss (Crash with dropUnsynced=true) truncates
+// every file to its synced prefix — exactly the guarantee a real disk
+// gives — while a plain process crash keeps everything written (the
+// OS page cache survives the process). All methods are safe for
+// concurrent use; iteration orders are sorted so runs are replayable
+// byte for byte.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// NewMemFS returns an empty filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, dirs: map[string]bool{}}
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[dir] = true
+	return nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return nil, fmt.Errorf("memfs: %s: no such file", name)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, name: name}, nil
+}
+
+// memHandle appends through the fs map so Crash/Truncate and the
+// handle observe one shared file state.
+type memHandle struct {
+	fs   *MemFS
+	name string
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f := h.fs.files[h.name]
+	if f == nil {
+		return 0, fmt.Errorf("memfs: %s: write after remove", h.name)
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if f := h.fs.files[h.name]; f != nil {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// List implements FS.
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for name := range m.files {
+		if rest, ok := strings.CutPrefix(name, prefix); ok && !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[oldName]
+	if f == nil {
+		return fmt.Errorf("memfs: %s: no such file", oldName)
+	}
+	delete(m.files, oldName)
+	m.files[newName] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.files[name] == nil {
+		return fmt.Errorf("memfs: %s: no such file", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return fmt.Errorf("memfs: %s: no such file", name)
+	}
+	if int(size) < len(f.data) {
+		f.data = f.data[:size]
+	}
+	if f.synced > len(f.data) {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+// SyncDir implements FS (directory mutations are immediately durable
+// in memory; power-loss fidelity is modeled at the file-byte level).
+func (m *MemFS) SyncDir(dir string) error { return nil }
+
+// Crash simulates killing every process using files under prefix
+// ("" = the whole filesystem). With dropUnsynced=true it is a power
+// loss: every matching file is truncated to its fsynced prefix. With
+// false it is a process crash: written bytes survive in the page
+// cache and are treated as durable from here on.
+func (m *MemFS) Crash(prefix string, dropUnsynced bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, f := range m.files {
+		if prefix != "" && !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if dropUnsynced {
+			f.data = f.data[:f.synced]
+		} else {
+			f.synced = len(f.data)
+		}
+	}
+}
+
+// Corrupt XORs mask into byte off of a file (media bit-flip
+// injection). Offsets from the end are addressed with negative off.
+func (m *MemFS) Corrupt(name string, off int, mask byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return fmt.Errorf("memfs: %s: no such file", name)
+	}
+	if off < 0 {
+		off += len(f.data)
+	}
+	if off < 0 || off >= len(f.data) {
+		return fmt.Errorf("memfs: %s: corrupt offset %d out of range (len %d)", name, off, len(f.data))
+	}
+	f.data[off] ^= mask
+	return nil
+}
+
+// Tear chops n bytes off a file's end (a torn write applied post
+// hoc). It reports the file's new length.
+func (m *MemFS) Tear(name string, n int) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return 0, fmt.Errorf("memfs: %s: no such file", name)
+	}
+	if n > len(f.data) {
+		n = len(f.data)
+	}
+	f.data = f.data[:len(f.data)-n]
+	if f.synced > len(f.data) {
+		f.synced = len(f.data)
+	}
+	return len(f.data), nil
+}
+
+// Size returns a file's current length (-1 if absent).
+func (m *MemFS) Size(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.files[name]; f != nil {
+		return len(f.data)
+	}
+	return -1
+}

@@ -1,0 +1,146 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+)
+
+// Record kinds.
+const (
+	recDecided = "dec"  // one decided round's delta beyond what is already logged
+	recCkpt    = "ckpt" // a checkpoint certificate was installed (marker in the segment)
+	recSnap    = "snap" // snapshot file: certificate + full certified prefix
+)
+
+// record is the JSON payload inside every frame. Value always holds
+// plain flattened items (lattice.Set marshals canonically), so
+// replaying any subset of records in any order unions to the same
+// state.
+type record struct {
+	T string `json:"t"`
+	// Round is the decide round (dec) or certificate round (snap).
+	Round int `json:"r,omitempty"`
+	// SafeR is the acceptor's Safe_r when the record was appended
+	// (dec); recovery restores max over all records so the restarted
+	// acceptor re-enters at its pre-crash round frontier.
+	SafeR int `json:"s,omitempty"`
+	// Len is the cumulative decided length after this record (dec) or
+	// the certificate length (ckpt/snap) — a cheap cross-check.
+	Len   int           `json:"n,omitempty"`
+	Value *lattice.Set  `json:"v,omitempty"`
+	Cert  *msg.CkptCert `json:"c,omitempty"`
+}
+
+// Frame layout: [len u32le][crc32c u32le][payload]. crcTable is
+// Castagnoli — hardware-accelerated on amd64/arm64.
+const frameHeader = 8
+
+// maxRecordBytes bounds a single record; a length prefix beyond it is
+// treated as corruption, not an allocation request (decoders must
+// survive arbitrary bytes — FuzzWALDecode).
+const maxRecordBytes = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame decode errors: both mean "damaged suffix starts here".
+var (
+	errTornFrame = errors.New("wal: torn frame (truncated mid-record)")
+	errBadCRC    = errors.New("wal: CRC mismatch")
+)
+
+// appendFrame frames payload onto dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// decodeFrame splits one frame off data, verifying the CRC. It
+// returns the payload and the remainder; an error means the bytes
+// from this frame on are damaged or incomplete.
+func decodeFrame(data []byte) (payload, rest []byte, err error) {
+	if len(data) < frameHeader {
+		return nil, nil, errTornFrame
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if n > maxRecordBytes {
+		return nil, nil, errBadCRC
+	}
+	want := binary.LittleEndian.Uint32(data[4:8])
+	if uint32(len(data)-frameHeader) < n {
+		return nil, nil, errTornFrame
+	}
+	payload = data[frameHeader : frameHeader+int(n)]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, nil, errBadCRC
+	}
+	return payload, data[frameHeader+int(n):], nil
+}
+
+// decodeRecord parses one CRC-verified payload.
+func decodeRecord(payload []byte) (record, error) {
+	var r record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return record{}, fmt.Errorf("wal: undecodable record: %w", err)
+	}
+	switch r.T {
+	case recDecided:
+		if r.Value == nil {
+			return record{}, errors.New("wal: decided record without value")
+		}
+	case recCkpt:
+		if r.Cert == nil {
+			return record{}, errors.New("wal: ckpt record without certificate")
+		}
+	case recSnap:
+		if r.Cert == nil || r.Value == nil {
+			return record{}, errors.New("wal: snapshot record without certificate or value")
+		}
+	default:
+		return record{}, fmt.Errorf("wal: unknown record kind %q", r.T)
+	}
+	return r, nil
+}
+
+// decodeAll walks a segment's bytes, returning every decodable record
+// and the offset where the valid prefix ends. It never panics on
+// arbitrary input and never returns a record whose frame failed its
+// CRC; err reports why the walk stopped early (nil when the whole
+// buffer parsed).
+func decodeAll(data []byte) (recs []record, good int, err error) {
+	rest := data
+	for len(rest) > 0 {
+		payload, next, ferr := decodeFrame(rest)
+		if ferr != nil {
+			return recs, good, ferr
+		}
+		r, rerr := decodeRecord(payload)
+		if rerr != nil {
+			// The frame is intact but semantically alien (e.g. a future
+			// record kind): stop here, keeping the prefix — the safe
+			// reading of an unknown format.
+			return recs, good, rerr
+		}
+		recs = append(recs, r)
+		good = len(data) - len(next)
+		rest = next
+	}
+	return recs, good, nil
+}
+
+// encodeRecord marshals and frames one record.
+func encodeRecord(r record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return appendFrame(nil, payload), nil
+}

@@ -16,6 +16,7 @@ import (
 	"bgla/internal/proto"
 	"bgla/internal/rsm"
 	"bgla/internal/sig"
+	"bgla/internal/wal"
 )
 
 // ServiceConfig configures a live in-process Byzantine-tolerant RSM.
@@ -70,10 +71,30 @@ type ServiceConfig struct {
 	// checkpoint).
 	CheckpointBytes int
 
+	// DataDir enables the durable storage engine (internal/wal,
+	// DESIGN.md §8): each replica appends its decided rounds and
+	// installed checkpoint certificates to a write-ahead log under
+	// DataDir/shard-<s>/replica-<i>, and on construction rehydrates
+	// from whatever the directory holds before touching the network —
+	// a restarted replica (or a fully restarted cluster) resumes from
+	// local disk, replaying only O(window) records beyond the newest
+	// persisted checkpoint and asking peers only for what the disk
+	// lost. Empty disables durability (the seed's in-memory behaviour).
+	DataDir string
+	// SyncMode selects the WAL fsync policy: "record" (fsync per
+	// decided record), "group" or "" (group commit — the default) or
+	// "off" (the OS page cache decides). See wal.SyncPolicy.
+	SyncMode string
+	// GroupSync is the group-commit interval in records (0 = 32).
+	GroupSync int
+	// SegmentBytes rotates WAL segments at this size (0 = 1 MiB).
+	SegmentBytes int
+
 	// Hooks are test-only fault-injection points: a replacement
-	// transport (the deterministic harness of internal/faultnet) and
+	// transport (the deterministic harness of internal/faultnet),
 	// per-slot replica wrappers (active Byzantine adversaries,
-	// crash-restart wrappers). Nil in production.
+	// crash-restart wrappers) and a substitute storage stack (wal.MemFS
+	// plus torn-write/partial-fsync hooks). Nil in production.
 	Hooks *ServiceHooks
 }
 
@@ -122,6 +143,7 @@ type Service struct {
 	gw   *gateway
 	pipe *batch.Pipeline
 	reps []*gwts.Machine
+	pers []*wal.Persister
 	seq  atomic.Int64
 
 	closeOnce sync.Once
@@ -141,6 +163,21 @@ func replicaCompaction(cfg ServiceConfig, kc sig.Keychain, id ident.ProcessID) c
 		Keychain: kc, Signer: kc.SignerFor(id),
 		Every: cfg.CheckpointEvery, Bytes: cfg.CheckpointBytes,
 	}
+}
+
+// openReplicaLog opens (and recovers) one replica's durable log,
+// rehydrates the freshly built machine from it, and returns the
+// persisting wrapper to place on the network.
+func openReplicaLog(cfg ServiceConfig, shard, replica int, r *gwts.Machine) (*wal.Persister, error) {
+	opt, err := cfg.walOptions(shard, replica)
+	if err != nil {
+		return nil, err
+	}
+	p, err := wal.OpenFor(cfg.storageFS(), wal.ReplicaDir(cfg.DataDir, shard, replica), opt, r)
+	if err != nil {
+		return nil, fmt.Errorf("bgla: open wal shard %d replica %d: %w", shard, replica, err)
+	}
+	return p, nil
 }
 
 // NewService builds and starts the cluster.
@@ -170,6 +207,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		kc = sig.NewSim(cfg.Replicas, cfg.Seed+0x5eed)
 	}
 	var reps []*gwts.Machine
+	var pers []*wal.Persister
 	for i := 0; i < cfg.Replicas; i++ {
 		id := ident.ProcessID(i)
 		if mute.Has(id) {
@@ -187,16 +225,31 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
-		m := cfg.wrapReplica(0, i, r)
-		if m == proto.Machine(r) {
+		m := proto.Machine(r)
+		if cfg.DataDir != "" {
+			p, err := openReplicaLog(cfg, 0, i, r)
+			if err != nil {
+				return nil, err
+			}
+			pers = append(pers, p)
+			m = p
+		}
+		w := cfg.wrapReplica(0, i, m)
+		if w == m {
 			// Replaced slots (adversaries) drop out of stats
 			// aggregation; wrapped slots keep their machine via the
 			// hook's own reference.
 			reps = append(reps, r)
 		}
-		machines = append(machines, m)
+		machines = append(machines, w)
 	}
 	net := cfg.newTransport(machines)
+
+	// A restarted client must resume its sequence past everything its
+	// previous incarnation got decided: the lattice is a set, so a
+	// reused (client, seq) command or read marker is absorbed by the
+	// recovered state without a fresh decision and never confirms.
+	startSeq := recoveredSeq(pers)
 
 	// Trigger new_value at f+1 correct replicas: mute ones would relay
 	// nothing, so target the first f+1 non-mute (correct replicas relay
@@ -218,13 +271,31 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		MaxInFlight: cfg.MaxInFlight,
 		QueueDepth:  cfg.QueueDepth,
 		OpTimeout:   cfg.OpTimeout,
+		StartSeq:    uint64(startSeq),
 	}, transportSender{net: net})
 	if err != nil {
 		return nil, err
 	}
 	gw.deliver = pipe.Deliver
 	net.Start()
-	return &Service{cfg: cfg, net: net, gw: gw, pipe: pipe, reps: reps}, nil
+	s := &Service{cfg: cfg, net: net, gw: gw, pipe: pipe, reps: reps, pers: pers}
+	s.seq.Store(int64(startSeq))
+	return s, nil
+}
+
+// recoveredSeq is the highest client sequence number found in any
+// replica's recovered state (0 on a fresh data directory or when
+// storage is disabled).
+func recoveredSeq(pers []*wal.Persister) int {
+	max := 0
+	for _, p := range pers {
+		if rec := p.Recovered(); rec != nil {
+			if v := rsm.MaxSeq(clientID, rec.Decided()); v > max {
+				max = v
+			}
+		}
+	}
+	return max
 }
 
 // Close shuts the cluster down; blocked callers return an error.
@@ -235,6 +306,11 @@ func (s *Service) Close() {
 	s.closeOnce.Do(func() {
 		s.pipe.Close()
 		s.net.Stop()
+		// The transport has quiesced: flush and close the logs last so
+		// every decided record the machines produced is on disk.
+		for _, p := range s.pers {
+			_ = p.Close()
+		}
 	})
 }
 
@@ -300,8 +376,10 @@ type CompactionStats struct {
 	// countersignatures produced.
 	Installs, CertsBuilt, SigsIssued int64
 	// TransfersServed / TransfersReceived count state-transfer replies
-	// sent to and catch-ups completed from peers' checkpoints.
-	TransfersServed, TransfersReceived int64
+	// sent to and catch-ups completed from peers' checkpoints;
+	// TransfersRequested the state_req round-trips initiated (a
+	// restarted replica with an intact local WAL needs none).
+	TransfersServed, TransfersReceived, TransfersRequested int64
 	// MaxEpoch is the deepest replica's checkpoint count; MinBaseLen
 	// and MaxBaseLen bound the certified prefix sizes across replicas.
 	MaxEpoch, MinBaseLen, MaxBaseLen int64
@@ -317,6 +395,7 @@ func aggregateCompaction(reps []*gwts.Machine) CompactionStats {
 		out.SigsIssued += st.SigsIssued
 		out.TransfersServed += st.TransfersServed
 		out.TransfersReceived += st.TransfersReceived
+		out.TransfersRequested += st.TransfersRequested
 		if st.Epoch > out.MaxEpoch {
 			out.MaxEpoch = st.Epoch
 		}
@@ -334,3 +413,48 @@ func aggregateCompaction(reps []*gwts.Machine) CompactionStats {
 // CompactionStats snapshots the correct replicas' checkpoint counters
 // (atomics — safe while the cluster runs).
 func (s *Service) CompactionStats() CompactionStats { return aggregateCompaction(s.reps) }
+
+// StorageStats aggregates the replicas' durable-log activity (all zero
+// when DataDir is unset). See wal.Stats for the per-log fields.
+type StorageStats struct {
+	// Records / Bytes / Syncs count framed records appended, bytes
+	// written and fsyncs issued across replicas; SyncsDropped the syncs
+	// a fault hook suppressed.
+	Records, Bytes, Syncs, SyncsDropped int64
+	// Rotations / Snapshots / Pruned count segment rolls, checkpoint
+	// snapshots written, and covered files deleted.
+	Rotations, Snapshots, Pruned int64
+	// Errors counts wedged logs' write failures.
+	Errors int64
+	// RecoveredRecords / RecoveredItems describe what the last Open
+	// replayed from disk; RecoveredDiscarded the damaged bytes dropped;
+	// TornTails how many replicas healed a torn tail.
+	RecoveredRecords, RecoveredItems, RecoveredDiscarded int64
+	TornTails                                            int64
+}
+
+func aggregateStorage(pers []*wal.Persister) StorageStats {
+	var out StorageStats
+	for _, p := range pers {
+		st := p.Log().Stats()
+		out.Records += st.Records
+		out.Bytes += st.Bytes
+		out.Syncs += st.Syncs
+		out.SyncsDropped += st.SyncsDropped
+		out.Rotations += st.Rotations
+		out.Snapshots += st.Snapshots
+		out.Pruned += st.Pruned
+		out.Errors += st.Errors
+		out.RecoveredRecords += st.RecoveredRecords
+		out.RecoveredItems += st.RecoveredItems
+		out.RecoveredDiscarded += st.RecoveredDiscarded
+		if st.TornTail {
+			out.TornTails++
+		}
+	}
+	return out
+}
+
+// StorageStats snapshots the replicas' WAL counters (atomics — safe
+// while the cluster runs).
+func (s *Service) StorageStats() StorageStats { return aggregateStorage(s.pers) }

@@ -20,6 +20,7 @@ import (
 	"bgla/internal/rsm"
 	"bgla/internal/shard"
 	"bgla/internal/sig"
+	"bgla/internal/wal"
 )
 
 // ShardedConfig configures a sharded multi-lattice store: S independent
@@ -65,6 +66,7 @@ type Store struct {
 	demuxes []*shard.Demux
 	pipes   []*batch.Pipeline
 	reps    []*gwts.Machine
+	pers    []*wal.Persister
 	seq     atomic.Uint64
 
 	scans       atomic.Uint64
@@ -139,6 +141,7 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 		kc = sig.NewSim(cfg.Replicas, cfg.Seed+0x5eed)
 	}
 	var reps []*gwts.Machine
+	var pers []*wal.Persister
 	for i := 0; i < cfg.Replicas; i++ {
 		id := ident.ProcessID(i)
 		subs := make([]proto.Machine, cfg.Shards)
@@ -157,11 +160,20 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 			if err != nil {
 				return nil, err
 			}
-			m := cfg.wrapReplica(s, i, r)
-			if m == proto.Machine(r) {
+			m := proto.Machine(r)
+			if cfg.DataDir != "" {
+				p, err := openReplicaLog(shardCfg, s, i, r)
+				if err != nil {
+					return nil, err
+				}
+				pers = append(pers, p)
+				m = p
+			}
+			w := cfg.wrapReplica(s, i, m)
+			if w == m {
 				reps = append(reps, r)
 			}
-			subs[s] = m
+			subs[s] = w
 		}
 		d, err := shard.NewDemux(shard.DemuxConfig{
 			Self: id, Subs: subs, All: all,
@@ -186,6 +198,11 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 		d.SetSend(func(to ident.ProcessID, m msg.Msg) { net.Inject(d.ID(), to, m) })
 	}
 
+	// Resume the client sequence past every recovered incarnation (see
+	// recoveredSeq / rsm.MaxSeq); all shards share the client identity,
+	// so every shard pipeline starts beyond the global maximum.
+	startSeq := recoveredSeq(pers)
+
 	pipes := make([]*batch.Pipeline, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
 		// Trigger new_value at f+1 replicas correct *in this shard*
@@ -207,6 +224,7 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 			MaxInFlight: cfg.MaxInFlight,
 			QueueDepth:  cfg.QueueDepth,
 			OpTimeout:   cfg.OpTimeout,
+			StartSeq:    uint64(startSeq),
 		}, shard.NewSender(s, func(to ident.ProcessID, m msg.Msg) {
 			net.Inject(clientID, to, m)
 		}))
@@ -222,10 +240,12 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 	}
 	gw.SetDeliver(func(s int, from ident.ProcessID, m msg.Msg) { pipes[s].Deliver(from, m) })
 	net.Start()
-	return &Store{
-		cfg: cfg, net: net, demuxes: demuxes, pipes: pipes, reps: reps,
+	st := &Store{
+		cfg: cfg, net: net, demuxes: demuxes, pipes: pipes, reps: reps, pers: pers,
 		rng: rand.New(rand.NewSource(cfg.Seed + 0x5ca0)),
-	}, nil
+	}
+	st.seq.Store(uint64(startSeq))
+	return st, nil
 }
 
 // Close shuts the whole cluster down: every shard pipeline, every
@@ -242,6 +262,11 @@ func (st *Store) Close() {
 			d.Stop()
 		}
 		st.net.Stop()
+		// The transport has quiesced: flush and close the durable logs
+		// last so every decided record reached disk.
+		for _, p := range st.pers {
+			_ = p.Close()
+		}
 	})
 }
 
@@ -468,3 +493,8 @@ func (st *Store) Stats() StoreStats {
 // replica (atomics — safe while the store runs). All zero unless
 // CheckpointEvery/CheckpointBytes are set.
 func (st *Store) CompactionStats() CompactionStats { return aggregateCompaction(st.reps) }
+
+// StorageStats aggregates WAL activity across every shard replica's
+// durable log (atomics — safe while the store runs). All zero unless
+// DataDir is set.
+func (st *Store) StorageStats() StorageStats { return aggregateStorage(st.pers) }

@@ -7,6 +7,7 @@ import (
 	"bgla/internal/ident"
 	"bgla/internal/msg"
 	"bgla/internal/proto"
+	"bgla/internal/wal"
 )
 
 // Transport is the injection point between the public stack and its
@@ -71,6 +72,48 @@ type ServiceHooks struct {
 	// (shard.Demux). Deterministic transports need this: worker
 	// goroutines would reintroduce scheduling nondeterminism.
 	InlineShards bool
+
+	// Storage substitutes the filesystem and per-slot fault hooks
+	// underneath the durable storage engine when DataDir is set — the
+	// disk counterpart of NewTransport (internal/wal, DESIGN.md §8).
+	Storage *StorageHooks
+}
+
+// StorageHooks is the storage fault seam: a replacement filesystem
+// (wal.MemFS with its synced-byte power-loss model) and per-slot
+// write/fsync interceptors for torn-write, bit-flip and partial-fsync
+// injection at the record boundary.
+type StorageHooks struct {
+	// FS replaces the OS filesystem (nil keeps wal.OSFS).
+	FS wal.FS
+	// Hooks returns the fault hooks for one replica slot (nil for
+	// none); called once per slot at construction.
+	Hooks func(shard, replica int) *wal.Hooks
+}
+
+// storageFS resolves the filesystem the storage engine writes to.
+func (cfg ServiceConfig) storageFS() wal.FS {
+	if cfg.Hooks != nil && cfg.Hooks.Storage != nil && cfg.Hooks.Storage.FS != nil {
+		return cfg.Hooks.Storage.FS
+	}
+	return wal.OSFS{}
+}
+
+// walOptions builds one replica slot's log options from the config.
+func (cfg ServiceConfig) walOptions(shard, replica int) (wal.Options, error) {
+	pol, err := wal.ParsePolicy(cfg.SyncMode)
+	if err != nil {
+		return wal.Options{}, err
+	}
+	opt := wal.Options{
+		Policy:       pol,
+		GroupEvery:   cfg.GroupSync,
+		SegmentBytes: cfg.SegmentBytes,
+	}
+	if cfg.Hooks != nil && cfg.Hooks.Storage != nil && cfg.Hooks.Storage.Hooks != nil {
+		opt.Hooks = cfg.Hooks.Storage.Hooks(shard, replica)
+	}
+	return opt, nil
 }
 
 // wrapReplica applies the WrapReplica hook for one slot.
