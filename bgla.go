@@ -204,7 +204,7 @@ func Solve(cfg Config) (*Report, error) {
 	}
 	rep.Violations = run.All()
 	rep.MaxDelays, _ = res.MaxDecisionTime(correctIDs)
-	rep.Messages = res.Metrics.SentTotal
+	rep.Messages = res.Metrics.SentTotal()
 	rep.PerProcessMax = res.Metrics.MaxSentByProc(correctIDs)
 	return rep, nil
 }
@@ -323,6 +323,6 @@ func SolveGeneralized(cfg GenConfig) (*GenReport, error) {
 		minDec = cfg.MinRounds
 	}
 	rep.Violations = run.All(minDec)
-	rep.Messages = res.Metrics.SentTotal
+	rep.Messages = res.Metrics.SentTotal()
 	return rep, nil
 }

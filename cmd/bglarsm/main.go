@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"bgla/internal/batch"
 	"bgla/internal/ident"
 	"bgla/internal/msg"
+	"bgla/internal/obs"
 	"bgla/internal/proto"
 	"bgla/internal/rsm"
 	"bgla/internal/shard"
@@ -55,6 +57,8 @@ func main() {
 	shards := flag.Int("shards", 1, "independent lattice instances multiplexed over the mesh")
 	datadir := flag.String("datadir", "", "write-ahead-log root directory (empty = in-memory only; an existing directory restarts from disk)")
 	fsync := flag.String("fsync", "group", "WAL fsync policy: record | group | off (with -datadir)")
+	debugaddr := flag.String("debugaddr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off; use 127.0.0.1:0 for an ephemeral port)")
+	linger := flag.Duration("linger", 0, "keep the cluster (and debug server) alive this long after the workload completes")
 	flag.Parse()
 
 	var err error
@@ -62,14 +66,52 @@ func main() {
 	case *shards < 1:
 		err = fmt.Errorf("%d shards", *shards)
 	case *shards > 1:
-		err = runSharded(*n, *f, *shards, *ops, *conc, *batchSize, *inflight, *datadir, *fsync)
+		err = runSharded(*n, *f, *shards, *ops, *conc, *batchSize, *inflight, *datadir, *fsync, *debugaddr, *linger)
 	default:
-		err = run(*n, *f, *ops, *conc, *batchSize, *inflight, *datadir, *fsync)
+		err = run(*n, *f, *ops, *conc, *batchSize, *inflight, *datadir, *fsync, *debugaddr, *linger)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bglarsm: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// startDebugServer serves the obs introspection endpoints (/metrics,
+// /debug/vars, /debug/pprof) on addr; empty addr disables it. The
+// returned stop function closes the listener.
+func startDebugServer(addr string, reg *obs.Registry) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug server: %w", err)
+	}
+	srv := &http.Server{Handler: obs.Handler(reg)}
+	go func() { _ = srv.Serve(l) }()
+	fmt.Printf("debug server: http://%s/metrics (also /debug/vars, /debug/pprof)\n", l.Addr())
+	return func() { _ = srv.Close() }, nil
+}
+
+// lingerFor keeps the process alive so the debug endpoints stay
+// scrapeable after the workload summary printed.
+func lingerFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	fmt.Printf("lingering %v for scrapes...\n", d)
+	time.Sleep(d)
+}
+
+// printLatency reports the decision-latency percentiles of one
+// (possibly merged) histogram snapshot.
+func printLatency(snap obs.HistSnapshot) {
+	if snap.Count == 0 {
+		return
+	}
+	ms := func(q float64) float64 { return snap.Quantile(q) / 1e6 }
+	fmt.Printf("decision latency: p50 %.2fms  p99 %.2fms  p999 %.2fms (%d flights)\n",
+		ms(0.5), ms(0.99), ms(0.999), snap.Count)
 }
 
 // pipeGateway is the client node's protocol machine: it forwards
@@ -112,7 +154,10 @@ func openNodeLog(datadir, fsync string, shardIdx, replica int, clientID ident.Pr
 	return p, recovered, maxSeq, nil
 }
 
-func run(n, f, ops, conc, batchSize, inflight int, datadir, fsync string) error {
+func run(n, f, ops, conc, batchSize, inflight int, datadir, fsync, debugaddr string, linger time.Duration) error {
+	// One registry backs every instrument in the process: pipeline
+	// counters, decision-latency histogram, per-peer wire-codec stats.
+	reg := obs.NewRegistry()
 	// One extra identity in the PKI: the client node is process n.
 	clientID := ident.ProcessID(n)
 	kc := sig.NewEd25519(n+1, time.Now().UnixNano())
@@ -175,7 +220,7 @@ func run(n, f, ops, conc, batchSize, inflight int, datadir, fsync string) error 
 		}
 		node, err := tcpnet.NewNode(tcpnet.Config{
 			Self: self, Listener: listeners[i], Peers: peersOf(self),
-			Keychain: kc, Machine: m,
+			Keychain: kc, Machine: m, Registry: reg,
 		})
 		if err != nil {
 			return err
@@ -184,6 +229,11 @@ func run(n, f, ops, conc, batchSize, inflight int, datadir, fsync string) error 
 		go progress[i].follow(node.Events())
 		node.Start()
 	}
+	stopDebug, err := startDebugServer(debugaddr, reg)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	if datadir != "" {
 		fmt.Printf("durable WAL under %s (fsync=%s): %d commands recovered, client resumes at seq %d\n",
 			datadir, fsync, recovered, startSeq+1)
@@ -194,7 +244,7 @@ func run(n, f, ops, conc, batchSize, inflight int, datadir, fsync string) error 
 	gw := &pipeGateway{self: clientID}
 	clientNode, err := tcpnet.NewNode(tcpnet.Config{
 		Self: clientID, Listener: listeners[n], Peers: peersOf(clientID),
-		Keychain: kc, Machine: gw,
+		Keychain: kc, Machine: gw, Registry: reg,
 	})
 	if err != nil {
 		return err
@@ -207,6 +257,7 @@ func run(n, f, ops, conc, batchSize, inflight int, datadir, fsync string) error 
 		MaxBatch:    batchSize,
 		MaxInFlight: inflight,
 		StartSeq:    uint64(startSeq),
+		Registry:    reg,
 	}, clientNode)
 	if err != nil {
 		return err
@@ -259,6 +310,7 @@ func run(n, f, ops, conc, batchSize, inflight int, datadir, fsync string) error 
 		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds())
 	fmt.Printf("pipeline: %d flights, avg batch %.2f, max batch %d\n",
 		st.Flights, st.AvgBatch(), st.MaxBatchOps)
+	printLatency(pipe.LatencySnapshot())
 	fmt.Printf("confirmed read: %d commands visible\n", decided)
 	want := ops + recovered // this run's commands plus everything recovered from disk
 	if decided != want {
@@ -283,13 +335,15 @@ func run(n, f, ops, conc, batchSize, inflight int, datadir, fsync string) error 
 	} else {
 		fmt.Println("some replicas still catching up (decisions grow toward the same chain)")
 	}
+	lingerFor(linger)
 	return nil
 }
 
 // runSharded deploys S lattice instances per replica node behind
 // shard.Demux machines, all on one TCP mesh, and drives a spread
 // counter workload through S client pipelines.
-func runSharded(n, f, shards, ops, conc, batchSize, inflight int, datadir, fsync string) error {
+func runSharded(n, f, shards, ops, conc, batchSize, inflight int, datadir, fsync, debugaddr string, linger time.Duration) error {
+	reg := obs.NewRegistry()
 	clientID := ident.ProcessID(n)
 	kc := sig.NewEd25519(n+1, time.Now().UnixNano())
 	listeners := make([]net.Listener, n+1)
@@ -361,7 +415,7 @@ func runSharded(n, f, shards, ops, conc, batchSize, inflight int, datadir, fsync
 		}
 		node, err := tcpnet.NewNode(tcpnet.Config{
 			Self: self, Listener: listeners[i], Peers: peersOf(self),
-			Keychain: kc, Machine: d,
+			Keychain: kc, Machine: d, Registry: reg,
 		})
 		if err != nil {
 			return err
@@ -371,6 +425,11 @@ func runSharded(n, f, shards, ops, conc, batchSize, inflight int, datadir, fsync
 		nodes = append(nodes, node)
 		node.Start()
 	}
+	stopDebug, err := startDebugServer(debugaddr, reg)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 
 	for _, r := range recPerShard {
 		recovered += r
@@ -383,7 +442,7 @@ func runSharded(n, f, shards, ops, conc, batchSize, inflight int, datadir, fsync
 	gw := shard.NewGateway(clientID, shards)
 	clientNode, err := tcpnet.NewNode(tcpnet.Config{
 		Self: clientID, Listener: listeners[n], Peers: peersOf(clientID),
-		Keychain: kc, Machine: gw,
+		Keychain: kc, Machine: gw, Registry: reg,
 	})
 	if err != nil {
 		return err
@@ -398,6 +457,8 @@ func runSharded(n, f, shards, ops, conc, batchSize, inflight int, datadir, fsync
 			MaxBatch:    batchSize,
 			MaxInFlight: inflight,
 			StartSeq:    uint64(startSeq),
+			Registry:    reg,
+			Shard:       s,
 		}, shard.NewSender(s, clientNode.Send))
 		if err != nil {
 			return err
@@ -457,12 +518,18 @@ func runSharded(n, f, shards, ops, conc, batchSize, inflight int, datadir, fsync
 	}
 	fmt.Printf("\nreplicated %d commands across %d shards in %v (%.0f ops/sec aggregate)\n",
 		ops, shards, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds())
+	var merged obs.HistSnapshot
+	for s := 0; s < shards; s++ {
+		merged.Merge(pipes[s].LatencySnapshot())
+	}
+	printLatency(merged)
 	fmt.Printf("confirmed merged read: %d commands visible\n", decided)
 	want := ops + recovered
 	if decided != want {
 		return fmt.Errorf("merged reads show %d commands, want %d", decided, want)
 	}
 	fmt.Println("per-shard reads confirmed: each shard's decisions form a single growing chain")
+	lingerFor(linger)
 	return nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"bgla/internal/ident"
 	"bgla/internal/lattice"
 	"bgla/internal/msg"
+	"bgla/internal/obs"
 	"bgla/internal/rsm"
 )
 
@@ -97,6 +99,20 @@ type Config struct {
 	// reused marker is already in the decided set — absorbed without a
 	// fresh decision, so its confirmation would never arrive.
 	StartSeq uint64
+	// Registry, when non-nil, backs the pipeline's counters: per-shard
+	// ops/flights/timeouts/decided-ops counters, queue-depth and
+	// in-flight gauges, and the decision-latency histogram (DESIGN.md
+	// §9). nil gets a private registry, so Stats always works.
+	Registry *obs.Registry
+	// Shard labels the instruments with the owning shard index.
+	Shard int
+	// Clock supplies decision-latency timestamps (nil = obs.WallClock).
+	Clock obs.Clock
+	// Trace, when non-nil, receives client-side EvPropose/EvDecide
+	// events. Unlike the replica-side consensus trace, flight launches
+	// race residual network deliveries, so this trace is NOT byte-stable
+	// under faultnet — keep it out of determinism assertions.
+	Trace *obs.Tracer
 }
 
 func (c *Config) applyDefaults() error {
@@ -142,6 +158,12 @@ func (c *Config) applyDefaults() error {
 			quota = len(c.Replicas)
 		}
 		c.SubmitTo = c.Replicas[:quota]
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Clock == nil {
+		c.Clock = obs.WallClock
 	}
 	return nil
 }
@@ -190,11 +212,12 @@ const (
 // flight is one in-flight proposal: a batch of commands plus the Alg
 // 5/6 wait state shared by every operation in the batch.
 type flight struct {
-	seq     uint64
-	items   []lattice.Item // every command of the batch (incl. read nop)
-	updates []*request
-	reads   []*request
-	phase   flightPhase
+	seq      uint64
+	items    []lattice.Item // every command of the batch (incl. read nop)
+	updates  []*request
+	reads    []*request
+	phase    flightPhase
+	launched uint64 // Clock timestamp at launch (decision latency)
 
 	deciders   *ident.Set                     // distinct replicas deciding ⊇ items
 	candidates map[lattice.Digest]lattice.Set // decide values seen (digest -> value)
@@ -218,7 +241,14 @@ type Pipeline struct {
 	mu      sync.Mutex
 	flights map[uint64]*flight
 	seq     uint64
-	stats   Stats
+
+	// Registry-backed instruments (the one counting path; Stats() is a
+	// view over these).
+	cUpdates, cReads    *obs.Counter
+	cFlights, cTimeouts *obs.Counter
+	cDecided            *obs.Counter
+	gMaxBatch           *obs.Gauge
+	hLatency            *obs.Histogram
 }
 
 // reply is a replica notification forwarded by the transport owner.
@@ -245,6 +275,16 @@ func New(cfg Config, send Sender) (*Pipeline, error) {
 		flights: make(map[uint64]*flight),
 		seq:     cfg.StartSeq,
 	}
+	reg, sh := cfg.Registry, strconv.Itoa(cfg.Shard)
+	p.cUpdates = reg.Counter("bgla_ops_total", "shard", sh, "type", "update")
+	p.cReads = reg.Counter("bgla_ops_total", "shard", sh, "type", "read")
+	p.cFlights = reg.Counter("bgla_flights_total", "shard", sh)
+	p.cTimeouts = reg.Counter("bgla_timeouts_total", "shard", sh)
+	p.cDecided = reg.Counter("bgla_decided_ops_total", "shard", sh)
+	p.gMaxBatch = reg.Gauge("bgla_max_batch_ops", "shard", sh)
+	p.hLatency = reg.Histogram("bgla_decision_latency_ns", "shard", sh)
+	reg.GaugeFunc("bgla_queue_depth", func() int64 { return int64(len(p.reqs)) }, "shard", sh)
+	reg.GaugeFunc("bgla_inflight", func() int64 { return int64(len(p.tokens)) }, "shard", sh)
 	p.wg.Add(2)
 	go p.collect()
 	go p.dispatch()
@@ -267,11 +307,37 @@ func (p *Pipeline) Close() {
 	p.wg.Wait()
 }
 
-// Stats snapshots the activity counters.
+// Stats snapshots the activity counters (a view over the registry
+// instruments; safe from any goroutine).
 func (p *Pipeline) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	u, r := p.cUpdates.Value(), p.cReads.Value()
+	return Stats{
+		Ops: u + r, Updates: u, Reads: r,
+		Flights:     p.cFlights.Value(),
+		MaxBatchOps: int(p.gMaxBatch.Value()),
+		Timeouts:    p.cTimeouts.Value(),
+	}
+}
+
+// LatencySnapshot returns the decision-latency histogram (launch to
+// decide quorum, in Clock units — nanoseconds under the wall clock).
+func (p *Pipeline) LatencySnapshot() obs.HistSnapshot {
+	return p.hLatency.Snapshot()
+}
+
+// trace emits one client-side trace event; no-op without a Tracer.
+func (p *Pipeline) trace(kind obs.EventKind, t uint64, seq uint64, detail string) {
+	if p.cfg.Trace == nil {
+		return
+	}
+	p.cfg.Trace.Emit(obs.Event{
+		T:      t,
+		Kind:   kind,
+		Shard:  p.cfg.Shard,
+		Proc:   p.cfg.Client.String(),
+		Round:  int(seq),
+		Detail: detail,
+	})
 }
 
 // Update enqueues a command and blocks until it is durably decided
@@ -436,13 +502,12 @@ func (p *Pipeline) launch(batch []*request) {
 		// One nop marker serves every read of the batch (Alg 6 line 3).
 		f.items = append(f.items, rsm.NopCmd(p.cfg.Client, int(f.seq)))
 	}
-	p.stats.Flights++
-	p.stats.Ops += uint64(len(batch))
-	p.stats.Updates += uint64(len(f.updates))
-	p.stats.Reads += uint64(len(f.reads))
-	if len(batch) > p.stats.MaxBatchOps {
-		p.stats.MaxBatchOps = len(batch)
-	}
+	p.cFlights.Inc()
+	p.cUpdates.Add(uint64(len(f.updates)))
+	p.cReads.Add(uint64(len(f.reads)))
+	p.gMaxBatch.SetMax(int64(len(batch)))
+	f.launched = p.cfg.Clock.Now()
+	p.trace(obs.EvPropose, f.launched, f.seq, fmt.Sprintf("ops=%d", len(batch)))
 	// OpTimeout runs from enqueue: the flight inherits the deadline of
 	// its oldest operation, so queueing delay is not free extra time.
 	oldest := batch[0].at
@@ -453,7 +518,7 @@ func (p *Pipeline) launch(batch []*request) {
 	}
 	remaining := p.cfg.OpTimeout - time.Since(oldest)
 	if remaining <= 0 {
-		p.stats.Timeouts++
+		p.cTimeouts.Inc()
 		completeReqs(f.updates, ErrTimeout)
 		completeReqs(f.reads, ErrTimeout)
 		p.mu.Unlock()
@@ -524,7 +589,18 @@ func (p *Pipeline) onDecide(f *flight, from ident.ProcessID, d msg.Decide) {
 	if f.deciders.Len() < core.ReadQuorum(p.cfg.F) {
 		return
 	}
+	// Decide quorum reached: the decision-latency sample spans launch to
+	// here (clamped — a wall-clock step or virtual-time seam could make
+	// the difference negative).
+	now := p.cfg.Clock.Now()
+	if now > f.launched {
+		p.hLatency.Observe(now - f.launched)
+	} else {
+		p.hLatency.Observe(0)
+	}
+	p.trace(obs.EvDecide, now, f.seq, fmt.Sprintf("ops=%d", len(f.updates)+len(f.reads)))
 	// Updates complete at decide quorum.
+	p.cDecided.Add(uint64(len(f.updates)))
 	completeReqs(f.updates, nil)
 	f.updates = nil
 	if len(f.reads) == 0 {
@@ -560,6 +636,7 @@ func (p *Pipeline) onCnfRep(f *flight, from ident.ProcessID, rep msg.CnfRep) {
 	if set.Len() < core.ReadQuorum(p.cfg.F) {
 		return
 	}
+	p.cDecided.Add(uint64(len(f.reads)))
 	for _, r := range f.reads {
 		r.done <- result{value: rep.Value}
 	}
@@ -582,7 +659,7 @@ func (p *Pipeline) expire(seq uint64) {
 	if !ok {
 		return
 	}
-	p.stats.Timeouts++
+	p.cTimeouts.Inc()
 	completeReqs(f.updates, ErrTimeout)
 	completeReqs(f.reads, ErrTimeout)
 	delete(p.flights, f.seq)

@@ -1,10 +1,13 @@
 package gwts
 
 import (
+	"fmt"
+
 	"bgla/internal/compact"
 	"bgla/internal/ident"
 	"bgla/internal/lattice"
 	"bgla/internal/msg"
+	"bgla/internal/obs"
 	"bgla/internal/proto"
 )
 
@@ -133,6 +136,7 @@ func (m *Machine) ckInstallFrom(from ident.ProcessID, c msg.CkptCert) []proto.Ou
 	}
 	if needState && from != m.cfg.Self {
 		m.ck.NoteStateReq()
+		m.trace(obs.EvStateTransfer, c.Round, "request", from.String())
 		return []proto.Output{proto.Send(from, msg.StateReq{Dig: c.Dig})}
 	}
 	return nil
@@ -147,6 +151,7 @@ func (m *Machine) onStateReq(from ident.ProcessID, req msg.StateReq) []proto.Out
 	if !ok {
 		return nil
 	}
+	m.trace(obs.EvStateTransfer, rep.Cert.Round, "serve", from.String())
 	return []proto.Output{proto.Send(from, rep)}
 }
 
@@ -162,6 +167,7 @@ func (m *Machine) onStateRep(from ident.ProcessID, rep msg.StateRep) []proto.Out
 		m.Emit(proto.RejectEvent{Proc: m.cfg.Self, From: from, Kind: rep.Kind(), Reason: "bad state transfer"})
 		return nil
 	}
+	m.trace(obs.EvStateTransfer, rep.Cert.Round, "install", from.String())
 	return m.applyInstall(inst)
 }
 
@@ -227,6 +233,7 @@ func (m *Machine) applyInstall(inst *compact.Install) []proto.Output {
 	// (internal/wal): emitted after the DecideEvent above, so the
 	// storage layer sees the decided growth before the snapshot cut.
 	m.Emit(proto.CkptInstallEvent{Proc: m.cfg.Self, Cert: inst.Cert, Value: inst.Value})
+	m.trace(obs.EvCkptInstall, round, "", fmt.Sprintf("epoch=%d len=%d", inst.Cert.Epoch, inst.Value.Len()))
 	// A round at or below the certificate round is superseded: its
 	// outcome is covered by the checkpoint, and a lagging replica could
 	// otherwise stall waiting for disclosures that were broadcast while

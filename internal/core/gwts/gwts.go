@@ -32,6 +32,7 @@ import (
 	"bgla/internal/ident"
 	"bgla/internal/lattice"
 	"bgla/internal/msg"
+	"bgla/internal/obs"
 	"bgla/internal/proto"
 	"bgla/internal/rbc"
 )
@@ -93,6 +94,17 @@ type Config struct {
 	// removing the §6.2 defense against round-racing Byzantine
 	// proposers. Never use outside experiments.
 	DisableRoundGate bool
+
+	// Trace, when non-nil, receives the structured consensus events of
+	// DESIGN.md §9 (propose/ack/tally/decide/ckpt_install/
+	// state_transfer), timestamped by Clock and labeled with Shard.
+	// Every emitted field is a deterministic function of the machine
+	// state, so under faultnet's virtual clock the trace is byte-stable.
+	Trace *obs.Tracer
+	// Clock timestamps trace events (nil = obs.WallClock).
+	Clock obs.Clock
+	// Shard labels trace events with the owning shard index.
+	Shard int
 }
 
 type pendingKind int
@@ -164,6 +176,9 @@ func NewUnchecked(cfg Config) *Machine {
 	if cfg.MaxPendingConf == 0 {
 		cfg.MaxPendingConf = 1024
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = obs.WallClock
+	}
 	m := &Machine{
 		cfg:      cfg,
 		quorum:   core.AckQuorum(cfg.N, cfg.F),
@@ -209,6 +224,22 @@ func (m *Machine) Proposed() lattice.Set { return m.proposed }
 // Rejected returns the count of discarded messages.
 func (m *Machine) Rejected() int { return m.rejected + m.peer.Rejected() }
 
+// trace emits one consensus trace event; no-op without a Tracer.
+func (m *Machine) trace(kind obs.EventKind, round int, key, detail string) {
+	if m.cfg.Trace == nil {
+		return
+	}
+	m.cfg.Trace.Emit(obs.Event{
+		T:      m.cfg.Clock.Now(),
+		Kind:   kind,
+		Shard:  m.cfg.Shard,
+		Proc:   m.cfg.Self.String(),
+		Round:  round,
+		Key:    key,
+		Detail: detail,
+	})
+}
+
 func discTag(round int) string { return fmt.Sprintf("gwts/disc/%d", round) }
 
 func ackTag(dest ident.ProcessID, ts uint32, round int) string {
@@ -232,6 +263,7 @@ func (m *Machine) startRound(round int) []proto.Output {
 	m.pendingV = lattice.Empty()
 	m.proposed = m.proposed.Union(batch)
 	m.Emit(proto.JoinRoundEvent{Proc: m.cfg.Self, Round: round})
+	m.trace(obs.EvPropose, round, "", fmt.Sprintf("batch=%d proposed=%d", batch.Len(), m.proposed.Len()))
 	outs := m.peer.Broadcast(discTag(round), msg.Disclosure{Round: round, Value: batch})
 	// The machine's own RBC delivery arrives through the driver; the
 	// transition to proposing happens in onDisclosure once Counter[r]
@@ -419,6 +451,7 @@ func (m *Machine) acceptorOn(from ident.ProcessID, req msg.AckReq) []proto.Outpu
 			return nil // defensive: never reliable-broadcast the same tag twice
 		}
 		m.acked[key] = req.Round
+		m.trace(obs.EvAck, req.Round, from.String(), fmt.Sprintf("acc=%d", m.accepted.Len()))
 		return m.peer.Broadcast(key, msg.AckB{Accepted: m.accepted, Dest: from, TS: req.TS, Round: req.Round})
 	}
 	out := proto.Send(from, msg.Nack{Accepted: m.accepted, TS: req.TS, Round: req.Round})
@@ -430,6 +463,7 @@ func (m *Machine) acceptorOn(from ident.ProcessID, req msg.AckReq) []proto.Outpu
 // decision rule.
 func (m *Machine) onAckB(src ident.ProcessID, a msg.AckB) []proto.Output {
 	m.tally.Add(src, a.Accepted, a.Dest, a.TS, a.Round)
+	m.trace(obs.EvTally, a.Round, a.Dest.String(), fmt.Sprintf("from=%s acc=%d", src, a.Accepted.Len()))
 	var outs []proto.Output
 	// Acceptor side: advance Safe_r while rounds keep legitimately
 	// ending (Alg 4 lines 17-19). Buffered messages unlocked by the
@@ -470,6 +504,7 @@ func (m *Machine) tryDecide() []proto.Output {
 	m.decSeq = append(m.decSeq, best)
 	m.state = NewRound
 	m.Emit(proto.DecideEvent{Proc: m.cfg.Self, Round: m.r, Value: best})
+	m.trace(obs.EvDecide, m.r, "", fmt.Sprintf("len=%d", best.Len()))
 	var outs []proto.Output
 	for _, sub := range m.cfg.Subscribers {
 		outs = append(outs, proto.Send(sub, msg.Decide{Value: best, Round: m.r}))

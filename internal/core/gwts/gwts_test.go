@@ -381,7 +381,7 @@ func TestDeterministicReplay(t *testing.T) {
 		}
 		_, all := buildCluster(t, 7, 2, seeds, nil, func(c *Config) { c.MinRounds = 2 })
 		res := sim.New(sim.Config{Machines: all, Delay: sim.Uniform{Lo: 1, Hi: 5}, Seed: 7, MaxTime: 1_000_000}).Run()
-		return res.Metrics.SentTotal, res.EndTime
+		return res.Metrics.SentTotal(), res.EndTime
 	}
 	s1, t1 := run()
 	s2, t2 := run()

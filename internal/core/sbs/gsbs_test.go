@@ -265,7 +265,7 @@ func TestGSbSDeterministicReplay(t *testing.T) {
 		}
 		_, all := gCluster(t, 4, 1, kc, seeds, nil, func(c *GConfig) { c.MinRounds = 2 })
 		res := sim.New(sim.Config{Machines: all, Delay: sim.Uniform{Lo: 1, Hi: 5}, Seed: 11, MaxTime: 1_000_000}).Run()
-		return res.Metrics.SentTotal, res.EndTime
+		return res.Metrics.SentTotal(), res.EndTime
 	}
 	s1, t1 := run()
 	s2, t2 := run()

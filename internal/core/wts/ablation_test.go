@@ -94,7 +94,7 @@ func TestDisableRBCUsesPlainDisclosures(t *testing.T) {
 		}
 	}
 	// And it is strictly cheaper: no echo/ready traffic at all.
-	if res.Metrics.SentByKind[msg.KindRBCEcho] != 0 || res.Metrics.SentByKind[msg.KindRBCReady] != 0 {
+	if res.Metrics.SentByKind(msg.KindRBCEcho) != 0 || res.Metrics.SentByKind(msg.KindRBCReady) != 0 {
 		t.Fatal("RBC traffic present despite ablation")
 	}
 	// Decision latency drops below the RBC-based bound: 1 disclosure

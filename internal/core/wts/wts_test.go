@@ -321,7 +321,7 @@ func TestDeterministicReplay(t *testing.T) {
 		correct, all := cluster(t, 7, 2, nil)
 		res := sim.New(sim.Config{Machines: all, Delay: sim.Uniform{Lo: 1, Hi: 7}, Seed: 99, MaxTime: 100_000}).Run()
 		maxT, _ := res.MaxDecisionTime(correctIDs(correct))
-		return maxT, res.Metrics.SentTotal
+		return maxT, res.Metrics.SentTotal()
 	}
 	t1, s1 := run()
 	t2, s2 := run()

@@ -24,6 +24,11 @@ type BatchBenchRow struct {
 	// Speedup is ops/sec relative to the unbatched (1/1) row at the
 	// same jitter level (1.0 for the baseline itself).
 	Speedup float64 `json:"speedup_vs_unbatched"`
+	// Decision-latency percentiles (flight launch → decide quorum),
+	// from the pipeline's obs histogram.
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
 }
 
 // BatchBenchReport aggregates the batched-vs-unbatched throughput
@@ -104,6 +109,10 @@ func runBatchConfig(jitter time.Duration, maxBatch, inflight, clients, opsPerCli
 	row.OpsPerSec = float64(row.Ops) / elapsed.Seconds()
 	row.Flights = st.Flights
 	row.AvgBatch = st.AvgBatch
+	lat := svc.LatencyStats()
+	row.P50MS = lat.Quantile(0.5) / 1e6
+	row.P99MS = lat.Quantile(0.99) / 1e6
+	row.P999MS = lat.Quantile(0.999) / 1e6
 	return row, nil
 }
 
@@ -159,12 +168,13 @@ func (r *BatchBenchReport) Table() *Table {
 	t := &Table{
 		ID:      "E15",
 		Title:   "batching & pipelining — batched vs unbatched RSM throughput",
-		Columns: []string{"jitter µs", "batch", "inflight", "ops", "ops/sec", "flights", "avg batch", "speedup"},
+		Columns: []string{"jitter µs", "batch", "inflight", "ops", "ops/sec", "flights", "avg batch", "speedup", "p50 ms", "p99 ms"},
 		Pass:    r.Pass3x,
 	}
 	for _, row := range r.Rows {
 		t.AddRow(row.JitterUS, row.MaxBatch, row.MaxInFlight, row.Ops,
-			row.OpsPerSec, row.Flights, row.AvgBatch, row.Speedup)
+			row.OpsPerSec, row.Flights, row.AvgBatch, row.Speedup,
+			row.P50MS, row.P99MS)
 	}
 	t.Note("baseline rows (batch=1, inflight=1) reproduce the seed one-at-a-time client")
 	t.Note("pass requires >= 3x ops/sec at batch size >= 8 for every jitter level")

@@ -65,7 +65,7 @@ func runGeneralized(algo string, n, f, minRounds int, seed int64) genRun {
 	res := sim.New(sim.Config{Machines: machines, Seed: seed, MaxTime: 5_000_000}).Run()
 	out := genRun{
 		perProcMsgs: res.Metrics.MaxSentByProc(ids),
-		totalMsgs:   res.Metrics.SentTotal,
+		totalMsgs:   res.Metrics.SentTotal(),
 		quiesced:    res.Undelivered == 0,
 	}
 	run := &check.GLARun{

@@ -273,7 +273,7 @@ func WTSMessages(quick bool) *Table {
 		perProc := run.res.Metrics.MaxSentByProc(run.correctIDs)
 		ratio := float64(perProc) / float64(n*n)
 		ratios = append(ratios, ratio)
-		t.AddRow(n, f, run.res.Metrics.SentTotal, perProc, ratio)
+		t.AddRow(n, f, run.res.Metrics.SentTotal(), perProc, ratio)
 	}
 	// The per-process/n² ratio must stay bounded (no superquadratic
 	// growth): allow modest drift.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bgla/internal/lattice"
 )
@@ -179,6 +180,8 @@ type DeltaEncoder struct {
 	pinned  lattice.Set   // newest transmitted checkpoint prefix: a persistent base
 	recent  map[uint64]Msg
 	order   []uint64 // FIFO over recent
+
+	nDelta, nFull atomic.Int64 // primary-set frames by encoding chosen
 }
 
 // NewDeltaEncoder returns an encoder with an empty base cache.
@@ -225,6 +228,9 @@ func (e *DeltaEncoder) Encode(m Msg) ([]byte, error) {
 		// Only delta frames can be nacked (full frames are
 		// self-contained), so only they occupy retransmission slots.
 		e.rememberLocked(w.Seq, m)
+		e.nDelta.Add(1)
+	} else {
+		e.nFull.Add(1)
 	}
 	e.pushAnchorLocked(set)
 	if _, ok := m.(StateRep); ok {
@@ -239,6 +245,13 @@ func (e *DeltaEncoder) Encode(m Msg) ([]byte, error) {
 		return nil, fmt.Errorf("msg: delta frame of %s: %w", m.Kind(), err)
 	}
 	return json.Marshal(Envelope{K: KindDeltaFrame, B: body})
+}
+
+// Frames reports how many primary-set frames were delta-encoded vs
+// sent as self-contained full sets (the fallback path: no usable base,
+// a fresh connection, or a post-nack reset). Safe from any goroutine.
+func (e *DeltaEncoder) Frames() (delta, full int64) {
+	return e.nDelta.Load(), e.nFull.Load()
 }
 
 // HandleNack surrenders the nacked frame's message for retransmission,

@@ -1,0 +1,20 @@
+package obs
+
+import "time"
+
+// Clock supplies event timestamps and latency measurements. The two
+// implementations in the tree are WallClock (UnixNano, the real
+// binaries) and faultnet's virtual time (deterministic ticks, so
+// consensus traces are byte-stable across same-seed runs).
+type Clock interface {
+	Now() uint64
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() uint64
+
+// Now implements Clock.
+func (f ClockFunc) Now() uint64 { return f() }
+
+// WallClock is the real-time clock (nanoseconds since the Unix epoch).
+var WallClock Clock = ClockFunc(func() uint64 { return uint64(time.Now().UnixNano()) })

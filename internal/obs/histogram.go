@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the bucket count: bucket 0 holds exact zeros and
+// bucket i (1 ≤ i ≤ 64) holds values v with bits.Len64(v) == i, i.e.
+// the power-of-two range [2^(i-1), 2^i). Log bucketing keeps Observe
+// a single atomic add with ≤ ~100% relative quantile error per bucket,
+// tightened by linear interpolation inside the bucket at snapshot
+// time — plenty for p50/p99/p999 latency reporting.
+const histBuckets = 65
+
+// Histogram is a lock-free log-bucketed histogram of uint64 samples
+// (typically nanoseconds, or faultnet virtual ticks).
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, mergeable
+// across shards.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot copies the current bucket counts. Concurrent Observe calls
+// may tear between buckets and sum; the snapshot is still a valid
+// sample distribution.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Merge adds another snapshot into s (per-shard → store-level
+// aggregation).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// bucketBounds returns the [lo, hi) value range of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0
+	}
+	if i == 1 {
+		return 1, 2
+	}
+	return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by a cumulative walk
+// over the buckets with linear interpolation inside the target
+// bucket. Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			lo, hi := bucketBounds(i)
+			if hi <= lo {
+				return lo
+			}
+			frac := (rank - cum) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	// Fell off the end (rounding): top of the highest non-empty bucket.
+	for i := histBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] > 0 {
+			_, hi := bucketBounds(i)
+			return hi
+		}
+	}
+	return 0
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "shard", "0")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("x_total", "shard", "0"); again != c {
+		t.Fatal("get-or-create returned a different counter for same series")
+	}
+	if other := r.Counter("x_total", "shard", "1"); other == c {
+		t.Fatal("distinct labels must yield distinct series")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatal("SetMax lowered the gauge")
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatal("SetMax did not raise the gauge")
+	}
+}
+
+func TestLabelCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("y_total", "a", "1", "b", "2")
+	b := r.Counter("y_total", "b", "2", "a", "1")
+	if a != b {
+		t.Fatal("label order must not create distinct series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("z_total")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// Uniform samples 1..1000: p50 ≈ 500, p99 ≈ 990 — log buckets give
+	// ≤ one power-of-two of error, interpolation keeps it well inside.
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("sum = %d, want %d", s.Sum, 1000*1001/2)
+	}
+	p50 := s.Quantile(0.5)
+	if p50 < 250 || p50 > 1000 {
+		t.Fatalf("p50 = %g, want within a bucket of 500", p50)
+	}
+	p999 := s.Quantile(0.999)
+	if p999 < 512 || p999 > 1024 {
+		t.Fatalf("p999 = %g, want in [512,1024]", p999)
+	}
+	if q := s.Quantile(0); q < 0 {
+		t.Fatalf("q0 = %g", q)
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile must be 0")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(10)
+		b.Observe(1000)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 200 {
+		t.Fatalf("merged count = %d, want 200", sa.Count)
+	}
+	if sa.Sum != 100*10+100*1000 {
+		t.Fatalf("merged sum = %d", sa.Sum)
+	}
+	p50 := sa.Quantile(0.5)
+	if p50 < 8 || p50 > 2048 {
+		t.Fatalf("merged p50 = %g out of plausible range", p50)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total", "shard", "0").Add(3)
+	r.Counter("ops_total", "shard", "1").Add(4)
+	r.Gauge("queue_depth", "shard", "0").Set(2)
+	r.GaugeFunc("live", func() int64 { return 1 })
+	r.Histogram("lat_ns", "shard", "0").Observe(100)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE ops_total counter",
+		`ops_total{shard="0"} 3`,
+		`ops_total{shard="1"} 4`,
+		"# TYPE queue_depth gauge",
+		`queue_depth{shard="0"} 2`,
+		"# TYPE live gauge",
+		"live 1",
+		"# TYPE lat_ns summary",
+		`lat_ns{shard="0",quantile="0.99"}`,
+		`lat_ns_sum{shard="0"} 100`,
+		`lat_ns_count{shard="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output: families and series sorted.
+	var sb2 strings.Builder
+	_ = r.WritePrometheus(&sb2)
+	if sb2.String() != out {
+		t.Fatal("exposition is not deterministic")
+	}
+	// Every # TYPE line names a unique family.
+	seen := map[string]bool{}
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "# TYPE ") {
+			name := strings.Fields(ln)[2]
+			if seen[name] {
+				t.Fatalf("duplicate family %q", name)
+			}
+			seen[name] = true
+		}
+	}
+}
+
+func TestVarsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(7)
+	r.Histogram("h_ns").Observe(42)
+	var sb strings.Builder
+	if err := r.WriteVars(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"a_total": 7`) {
+		t.Fatalf("vars missing counter: %s", out)
+	}
+	if !strings.Contains(out, `"count": 1`) {
+		t.Fatalf("vars missing histogram object: %s", out)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 500; i++ {
+				r.Counter("c_total", "g", string(rune('a'+g%4))).Inc()
+				r.Histogram("h_ns").Observe(uint64(rng.Intn(1 << 20)))
+				if i%50 == 0 {
+					var sb strings.Builder
+					_ = r.WritePrometheus(&sb)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("c_total", "g", l).Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("lost increments: %d", total)
+	}
+	fams := r.Families()
+	if !sort.StringsAreSorted(fams) {
+		t.Fatal("Families not sorted")
+	}
+}

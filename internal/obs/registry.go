@@ -1,0 +1,358 @@
+// Package obs is the unified observability layer: a dependency-free
+// metrics registry (atomic counters, gauges, log-bucketed histograms
+// with p50/p99/p999 snapshots) and a structured consensus trace with a
+// pluggable clock. Under faultnet the clock is the harness's virtual
+// time, so traces are byte-stable across runs with the same seed; under
+// the real binaries the clock is wall time and the same instruments
+// feed live latency histograms. DESIGN.md §9 documents the
+// architecture.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// SetMax raises the gauge to v if v is larger (high-water marks).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// instKind discriminates the stored instrument types of a family.
+type instKind int
+
+const (
+	kindCounter instKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k instKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "summary"
+	default:
+		return "gauge"
+	}
+}
+
+// family is one metric name with all its labeled series.
+type family struct {
+	kind   instKind
+	series map[string]any // label-key → *Counter | *Gauge | *Histogram | func
+	order  []string       // insertion-ordered label keys (sorted at write)
+}
+
+// Registry is a concurrency-safe get-or-create store of named,
+// labeled instruments. Lookup takes the registry mutex; the returned
+// instruments are lock-free atomics meant to be cached by callers on
+// their hot paths.
+type Registry struct {
+	mu  sync.Mutex
+	fam map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{fam: map[string]*family{}} }
+
+// labelKey canonicalizes alternating k,v label pairs; panics on odd
+// arity (a programming error, like a bad fmt verb).
+func labelKey(labels []string) string {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(p.v)
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// get fetches or creates the (family, series) slot; panics if the name
+// is already registered with a different instrument kind.
+func (r *Registry) get(name string, kind instKind, labels []string, mk func() any) any {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam[name]
+	if f == nil {
+		f = &family{kind: kind, series: map[string]any{}}
+		r.fam[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+	}
+	inst := f.series[key]
+	if inst == nil {
+		inst = mk()
+		f.series[key] = inst
+		f.order = append(f.order, key)
+	}
+	return inst
+}
+
+// Counter returns the counter for name and the alternating k,v labels,
+// creating it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.get(name, kindCounter, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge series for name and labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.get(name, kindGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram series for name and labels.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	return r.get(name, kindHistogram, labels, func() any { return &Histogram{} }).(*Histogram)
+}
+
+// CounterFunc registers a pull-mode counter view: f is called at
+// exposition time. Re-registering the same series replaces f.
+func (r *Registry) CounterFunc(name string, f func() uint64, labels ...string) {
+	key := labelKey(labels)
+	r.get(name, kindCounterFunc, labels, func() any { return f })
+	r.mu.Lock()
+	r.fam[name].series[key] = f
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a pull-mode gauge view; same replace semantics
+// as CounterFunc.
+func (r *Registry) GaugeFunc(name string, f func() int64, labels ...string) {
+	key := labelKey(labels)
+	r.get(name, kindGaugeFunc, labels, func() any { return f })
+	r.mu.Lock()
+	r.fam[name].series[key] = f
+	r.mu.Unlock()
+}
+
+// snapshotFamilies copies the family map under the lock so exposition
+// can run the (possibly slow) func views without holding it.
+func (r *Registry) snapshotFamilies() []expoFamily {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fam))
+	for n := range r.fam {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]expoFamily, 0, len(names))
+	for _, n := range names {
+		f := r.fam[n]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ef := expoFamily{name: n, kind: f.kind}
+		for _, k := range keys {
+			ef.series = append(ef.series, expoSeries{labels: k, inst: f.series[k]})
+		}
+		out = append(out, ef)
+	}
+	r.mu.Unlock()
+	return out
+}
+
+type expoFamily struct {
+	name   string
+	kind   instKind
+	series []expoSeries
+}
+
+type expoSeries struct {
+	labels string
+	inst   any
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func withLabel(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format, families and series in sorted order. Histograms
+// are exposed as summaries with quantile="0.5|0.99|0.999" series plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			switch inst := s.inst.(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels), inst.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels), inst.Value())
+			case func() uint64:
+				_, err = fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels), inst())
+			case func() int64:
+				_, err = fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels), inst())
+			case *Histogram:
+				snap := inst.Snapshot()
+				for _, q := range []struct {
+					tag string
+					v   float64
+				}{
+					{`quantile="0.5"`, snap.Quantile(0.5)},
+					{`quantile="0.99"`, snap.Quantile(0.99)},
+					{`quantile="0.999"`, snap.Quantile(0.999)},
+				} {
+					if _, err = fmt.Fprintf(w, "%s%s %g\n", f.name, withLabel(s.labels, q.tag), q.v); err != nil {
+						return err
+					}
+				}
+				if _, err = fmt.Fprintf(w, "%s_sum%s %d\n", f.name, braced(s.labels), snap.Sum); err != nil {
+					return err
+				}
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(s.labels), snap.Count)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// WriteVars writes the registry as a flat JSON object (the
+// /debug/vars view): "name{labels}" → number, histograms → an object
+// with count/sum/p50/p99/p999.
+func (r *Registry) WriteVars(w io.Writer) error {
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(key, val string) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n "); err != nil {
+				return err
+			}
+		} else {
+			if _, err := io.WriteString(w, "\n "); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(w, "%q: %s", key, val)
+		return err
+	}
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range f.series {
+			key := seriesName(f.name, s.labels)
+			switch inst := s.inst.(type) {
+			case *Counter:
+				if err := emit(key, fmt.Sprintf("%d", inst.Value())); err != nil {
+					return err
+				}
+			case *Gauge:
+				if err := emit(key, fmt.Sprintf("%d", inst.Value())); err != nil {
+					return err
+				}
+			case func() uint64:
+				if err := emit(key, fmt.Sprintf("%d", inst())); err != nil {
+					return err
+				}
+			case func() int64:
+				if err := emit(key, fmt.Sprintf("%d", inst())); err != nil {
+					return err
+				}
+			case *Histogram:
+				snap := inst.Snapshot()
+				val := fmt.Sprintf(`{"count": %d, "sum": %d, "p50": %g, "p99": %g, "p999": %g}`,
+					snap.Count, snap.Sum, snap.Quantile(0.5), snap.Quantile(0.99), snap.Quantile(0.999))
+				if err := emit(key, val); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
+}
+
+// Families returns the sorted metric family names (for smoke tests).
+func (r *Registry) Families() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.fam))
+	for n := range r.fam {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

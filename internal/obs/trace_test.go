@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerCanonicalLines(t *testing.T) {
+	tr := &Tracer{}
+	tr.Emit(Event{T: 5, Kind: EvPropose, Shard: 1, Proc: "p2", Round: 3, Key: "abc", Detail: "n=4"})
+	tr.Emit(Event{T: 6, Kind: EvDecide, Shard: 1, Proc: "p2", Round: 3, Key: "abc", Detail: "len=9"})
+	lines := tr.Lines()
+	if len(lines) != 2 || tr.Len() != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "t=5 s=1 p=p2 propose r=3 k=abc n=4" {
+		t.Fatalf("canonical line drifted: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "decide") {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EvAck}) // must not panic
+	if tr.Len() != 0 || tr.Bytes() != nil || tr.Lines() != nil {
+		t.Fatal("nil tracer must be empty")
+	}
+	_ = tr.Fingerprint()
+}
+
+func TestTracerDeterministicFingerprint(t *testing.T) {
+	mk := func() *Tracer {
+		tr := &Tracer{}
+		for i := 0; i < 100; i++ {
+			tr.Emit(Event{T: uint64(i), Kind: EvAck, Proc: "p1", Round: i})
+		}
+		return tr
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical emission sequences must be byte-identical")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprints differ")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := &Tracer{}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				tr.Emit(Event{Kind: EvTally, Proc: "px"})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 1000 || len(tr.Lines()) != 1000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}

@@ -75,8 +75,8 @@ func TestAllCorrectDeliverSamePayload(t *testing.T) {
 			t.Fatalf("n=%d: broadcast took %d delays, want <= 3", n, res.EndTime)
 		}
 		// O(n²) messages: send(n) + echo(n²) + ready(n²), upper bound 3n².
-		if res.Metrics.SentTotal > 3*n*n {
-			t.Fatalf("n=%d: %d messages, want <= %d", n, res.Metrics.SentTotal, 3*n*n)
+		if res.Metrics.SentTotal() > 3*n*n {
+			t.Fatalf("n=%d: %d messages, want <= %d", n, res.Metrics.SentTotal(), 3*n*n)
 		}
 	}
 }

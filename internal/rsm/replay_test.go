@@ -33,7 +33,7 @@ func TestDeterministicReplayFullRSM(t *testing.T) {
 		for _, c := range w.clients {
 			results = append(results, c.Results())
 		}
-		return results, res.Metrics.SentTotal, res.EndTime
+		return results, res.Metrics.SentTotal(), res.EndTime
 	}
 	r1, s1, t1 := run()
 	r2, s2, t2 := run()

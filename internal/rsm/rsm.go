@@ -15,6 +15,7 @@ import (
 	"bgla/internal/core/gwts"
 	"bgla/internal/ident"
 	"bgla/internal/lattice"
+	"bgla/internal/obs"
 )
 
 // nopPrefix marks the no-op commands injected by reads (Alg 6 line 3).
@@ -128,6 +129,11 @@ type ReplicaConfig struct {
 	// replica's GWTS machine (zero value = disabled; see
 	// internal/compact and DESIGN.md §6).
 	Compaction compact.Config
+	// Trace, Clock and Shard plumb the consensus trace of DESIGN.md §9
+	// into the GWTS machine (Trace nil = no tracing).
+	Trace *obs.Tracer
+	Clock obs.Clock
+	Shard int
 }
 
 // NewReplica builds a replica: a GWTS machine whose decisions are
@@ -139,5 +145,8 @@ func NewReplica(cfg ReplicaConfig) (*gwts.Machine, error) {
 		F:           cfg.F,
 		Subscribers: cfg.Clients,
 		Compaction:  cfg.Compaction,
+		Trace:       cfg.Trace,
+		Clock:       cfg.Clock,
+		Shard:       cfg.Shard,
 	})
 }

@@ -2,46 +2,128 @@ package sim
 
 import (
 	"sort"
+	"sync"
 
 	"bgla/internal/ident"
 	"bgla/internal/msg"
+	"bgla/internal/obs"
 )
 
 // Metrics meters network traffic during a run. Broadcasts are expanded
 // into point-to-point sends before metering, matching the paper's
 // message counting ("it has to broadcast its proposal - cost O(n)").
 // Self-deliveries are not metered: they model local function calls.
+//
+// The counting path is the obs registry (DESIGN.md §9): one
+// bgla_sim_sent_total{proc,kind} counter per originating process and
+// message kind, plus bgla_sim_delivered_total. The accessor methods
+// are views over those instruments, so a shared Config.Registry shows
+// simulation traffic next to every other metric family.
 type Metrics struct {
-	// SentTotal counts all cross-process messages sent.
-	SentTotal int
-	// Delivered counts messages actually delivered before the horizon.
-	Delivered int
-	// SentByKind counts sends per message kind.
-	SentByKind map[msg.Kind]int
-	// SentByProc counts sends per originating process.
-	SentByProc map[ident.ProcessID]int
-	// SentByProcKind counts sends per originating process and kind.
-	SentByProcKind map[ident.ProcessID]map[msg.Kind]int
+	reg       *obs.Registry
+	delivered *obs.Counter
+
+	mu   sync.Mutex
+	sent map[ident.ProcessID]map[msg.Kind]*obs.Counter
 }
 
-func newMetrics() *Metrics {
-	return &Metrics{
-		SentByKind:     make(map[msg.Kind]int),
-		SentByProc:     make(map[ident.ProcessID]int),
-		SentByProcKind: make(map[ident.ProcessID]map[msg.Kind]int),
+func newMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	return &Metrics{
+		reg:       reg,
+		delivered: reg.Counter("bgla_sim_delivered_total"),
+		sent:      make(map[ident.ProcessID]map[msg.Kind]*obs.Counter),
+	}
+}
+
+// counter fetches (lazily registering) the send counter of one
+// (proc, kind) series.
+func (m *Metrics) counter(from ident.ProcessID, k msg.Kind) *obs.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pk := m.sent[from]
+	if pk == nil {
+		pk = make(map[msg.Kind]*obs.Counter)
+		m.sent[from] = pk
+	}
+	c := pk[k]
+	if c == nil {
+		c = m.reg.Counter("bgla_sim_sent_total", "proc", from.String(), "kind", string(k))
+		pk[k] = c
+	}
+	return c
 }
 
 func (m *Metrics) recordSend(from ident.ProcessID, k msg.Kind) {
-	m.SentTotal++
-	m.SentByKind[k]++
-	m.SentByProc[from]++
-	pk := m.SentByProcKind[from]
-	if pk == nil {
-		pk = make(map[msg.Kind]int)
-		m.SentByProcKind[from] = pk
+	m.counter(from, k).Inc()
+}
+
+func (m *Metrics) recordDelivered() { m.delivered.Inc() }
+
+// SentTotal counts all cross-process messages sent.
+func (m *Metrics) SentTotal() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, pk := range m.sent {
+		for _, c := range pk {
+			total += int(c.Value())
+		}
 	}
-	pk[k]++
+	return total
+}
+
+// Delivered counts messages actually delivered before the horizon.
+func (m *Metrics) Delivered() int { return int(m.delivered.Value()) }
+
+// SentByKind counts sends of one message kind.
+func (m *Metrics) SentByKind(k msg.Kind) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, pk := range m.sent {
+		if c := pk[k]; c != nil {
+			total += int(c.Value())
+		}
+	}
+	return total
+}
+
+// SentByProc counts sends originating from one process.
+func (m *Metrics) SentByProc(p ident.ProcessID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, c := range m.sent[p] {
+		total += int(c.Value())
+	}
+	return total
+}
+
+// SentByProcKind counts sends of one (process, kind) pair.
+func (m *Metrics) SentByProcKind(p ident.ProcessID, k msg.Kind) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c := m.sent[p][k]; c != nil {
+		return int(c.Value())
+	}
+	return 0
+}
+
+// KindCounts materializes the per-kind view as a map (stable-comparison
+// helper for replay tests).
+func (m *Metrics) KindCounts() map[msg.Kind]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[msg.Kind]int)
+	for _, pk := range m.sent {
+		for k, c := range pk {
+			out[k] += int(c.Value())
+		}
+	}
+	return out
 }
 
 // SentByProcs sums sends originating from the given processes; used to
@@ -49,7 +131,7 @@ func (m *Metrics) recordSend(from ident.ProcessID, k msg.Kind) {
 func (m *Metrics) SentByProcs(procs []ident.ProcessID) int {
 	total := 0
 	for _, p := range procs {
-		total += m.SentByProc[p]
+		total += m.SentByProc(p)
 	}
 	return total
 }
@@ -59,7 +141,7 @@ func (m *Metrics) SentByProcs(procs []ident.ProcessID) int {
 func (m *Metrics) MaxSentByProc(procs []ident.ProcessID) int {
 	maxSent := 0
 	for _, p := range procs {
-		if s := m.SentByProc[p]; s > maxSent {
+		if s := m.SentByProc(p); s > maxSent {
 			maxSent = s
 		}
 	}
@@ -68,8 +150,16 @@ func (m *Metrics) MaxSentByProc(procs []ident.ProcessID) int {
 
 // Kinds returns the metered kinds in sorted order (stable reporting).
 func (m *Metrics) Kinds() []msg.Kind {
-	kinds := make([]msg.Kind, 0, len(m.SentByKind))
-	for k := range m.SentByKind {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[msg.Kind]bool)
+	for _, pk := range m.sent {
+		for k := range pk {
+			seen[k] = true
+		}
+	}
+	kinds := make([]msg.Kind, 0, len(seen))
+	for k := range seen {
 		kinds = append(kinds, k)
 	}
 	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })

@@ -7,6 +7,7 @@ import (
 
 	"bgla/internal/ident"
 	"bgla/internal/msg"
+	"bgla/internal/obs"
 	"bgla/internal/proto"
 )
 
@@ -38,6 +39,10 @@ type Config struct {
 	MaxDeliveries int
 	// Wakeups are pre-scheduled timer self-messages.
 	Wakeups []Wakeup
+	// Registry, when non-nil, backs the run's Metrics so simulation
+	// traffic counters appear alongside other obs metric families
+	// (nil = a private registry).
+	Registry *obs.Registry
 }
 
 // TimedEvent is a protocol event stamped with its virtual time.
@@ -167,7 +172,7 @@ func New(cfg Config) *Sim {
 		cfg:     cfg,
 		byID:    make(map[ident.ProcessID]proto.Machine, len(cfg.Machines)),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		metrics: newMetrics(),
+		metrics: newMetrics(cfg.Registry),
 	}
 	for _, m := range cfg.Machines {
 		if _, dup := s.byID[m.ID()]; dup {
@@ -262,7 +267,7 @@ func (s *Sim) Step() bool {
 	}
 	heap.Pop(&s.q)
 	s.now = next.time
-	s.metrics.Delivered++
+	s.metrics.recordDelivered()
 	m := s.byID[next.to]
 	outs := m.Handle(next.from, next.msg)
 	s.emit(next.to, outs)

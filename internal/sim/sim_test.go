@@ -71,8 +71,8 @@ func TestUnitDelayChainAccounting(t *testing.T) {
 		t.Fatalf("EndTime = %d, want %d", res.EndTime, n-1)
 	}
 	// n-1 cross-process messages (self hop not metered).
-	if res.Metrics.SentTotal != n-1 {
-		t.Fatalf("SentTotal = %d, want %d", res.Metrics.SentTotal, n-1)
+	if res.Metrics.SentTotal() != n-1 {
+		t.Fatalf("SentTotal = %d, want %d", res.Metrics.SentTotal(), n-1)
 	}
 }
 
@@ -116,20 +116,20 @@ func TestBroadcastExpansionAndSelfDelivery(t *testing.T) {
 	}
 	// Broadcast to n expands to n sends but only n-1 are metered
 	// (self excluded); all delivered.
-	if res.Metrics.SentTotal != n-1 {
-		t.Fatalf("SentTotal = %d, want %d", res.Metrics.SentTotal, n-1)
+	if res.Metrics.SentTotal() != n-1 {
+		t.Fatalf("SentTotal = %d, want %d", res.Metrics.SentTotal(), n-1)
 	}
-	if res.Metrics.Delivered != n {
-		t.Fatalf("Delivered = %d, want %d", res.Metrics.Delivered, n)
+	if res.Metrics.Delivered() != n {
+		t.Fatalf("Delivered = %d, want %d", res.Metrics.Delivered(), n)
 	}
 	if res.EndTime != 3 {
 		t.Fatalf("EndTime = %d, want 3", res.EndTime)
 	}
-	if res.Metrics.SentByKind[msg.KindJunk] != n-1 {
-		t.Fatalf("SentByKind = %v", res.Metrics.SentByKind)
+	if res.Metrics.SentByKind(msg.KindJunk) != n-1 {
+		t.Fatalf("SentByKind = %v", res.Metrics.KindCounts())
 	}
-	if res.Metrics.SentByProc[0] != n-1 || res.Metrics.SentByProcKind[0][msg.KindJunk] != n-1 {
-		t.Fatalf("per-proc metrics wrong: %v", res.Metrics.SentByProc)
+	if res.Metrics.SentByProc(0) != n-1 || res.Metrics.SentByProcKind(0, msg.KindJunk) != n-1 {
+		t.Fatalf("per-proc metrics wrong: %d", res.Metrics.SentByProc(0))
 	}
 }
 
@@ -206,7 +206,7 @@ func TestMessagesToUnknownProcessDropped(t *testing.T) {
 		}},
 	}
 	res := New(Config{Machines: ms}).Run()
-	if res.Metrics.SentTotal != 0 || res.Deliveries != 0 {
+	if res.Metrics.SentTotal() != 0 || res.Deliveries != 0 {
 		t.Fatalf("unexpected traffic: %+v", res.Metrics)
 	}
 }
@@ -219,7 +219,7 @@ func TestDeterministicReplay(t *testing.T) {
 	if a.EndTime != b.EndTime || a.Deliveries != b.Deliveries {
 		t.Fatalf("replay diverged: %+v vs %+v", a, b)
 	}
-	if !reflect.DeepEqual(a.Metrics.SentByKind, b.Metrics.SentByKind) {
+	if !reflect.DeepEqual(a.Metrics.KindCounts(), b.Metrics.KindCounts()) {
 		t.Fatal("metrics diverged")
 	}
 	if !reflect.DeepEqual(a.Timeline, b.Timeline) {
@@ -289,7 +289,7 @@ func TestDuplicateIDPanics(t *testing.T) {
 }
 
 func TestMetricsHelpers(t *testing.T) {
-	m := newMetrics()
+	m := newMetrics(nil)
 	m.recordSend(0, msg.KindAck)
 	m.recordSend(0, msg.KindAck)
 	m.recordSend(1, msg.KindNack)

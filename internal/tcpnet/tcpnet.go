@@ -24,6 +24,7 @@ import (
 
 	"bgla/internal/ident"
 	"bgla/internal/msg"
+	"bgla/internal/obs"
 	"bgla/internal/proto"
 	"bgla/internal/sig"
 )
@@ -63,6 +64,12 @@ type Config struct {
 	// delta frames from delta-enabled peers; for a wire with no delta
 	// frames at all (pre-delta interop), every node must set it.
 	PlainCodec bool
+	// Registry, when non-nil, exposes the node's wire-health counters
+	// per peer: delta nacks issued, full-set resends served, and the
+	// encoder's delta-vs-full frame split (the fallback path), plus
+	// rejected handshakes (DESIGN.md §9). nil gets a private registry —
+	// the node-level accessors keep working either way.
+	Registry *obs.Registry
 }
 
 // Node is one deployed process.
@@ -89,6 +96,11 @@ type Node struct {
 	rejectedHellos atomic.Int64
 	deltaNacksSent atomic.Int64
 	deltaResends   atomic.Int64
+
+	// Per-peer registry counters (satellite views of the atomics above,
+	// labeled {self, peer}).
+	wireNacks   map[ident.ProcessID]*obs.Counter
+	wireResends map[ident.ProcessID]*obs.Counter
 }
 
 type inboundMsg struct {
@@ -159,19 +171,41 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.EventBuffer == 0 {
 		cfg.EventBuffer = 4096
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	n := &Node{
-		cfg:    cfg,
-		events: make(chan proto.Event, cfg.EventBuffer),
-		sendQ:  make(map[ident.ProcessID]*sendQueue, len(cfg.Peers)),
-		enc:    make(map[ident.ProcessID]*msg.DeltaEncoder, len(cfg.Peers)),
-		dec:    make(map[ident.ProcessID]*msg.DeltaDecoder),
-		conns:  make(map[net.Conn]struct{}),
+		cfg:         cfg,
+		events:      make(chan proto.Event, cfg.EventBuffer),
+		sendQ:       make(map[ident.ProcessID]*sendQueue, len(cfg.Peers)),
+		enc:         make(map[ident.ProcessID]*msg.DeltaEncoder, len(cfg.Peers)),
+		dec:         make(map[ident.ProcessID]*msg.DeltaDecoder),
+		conns:       make(map[net.Conn]struct{}),
+		wireNacks:   make(map[ident.ProcessID]*obs.Counter, len(cfg.Peers)),
+		wireResends: make(map[ident.ProcessID]*obs.Counter, len(cfg.Peers)),
 	}
 	n.cond = sync.NewCond(&n.mu)
+	self := cfg.Self.String()
 	for p := range cfg.Peers {
 		n.sendQ[p] = newSendQueue()
-		n.enc[p] = msg.NewDeltaEncoder()
+		enc := msg.NewDeltaEncoder()
+		n.enc[p] = enc
+		peer := p.String()
+		n.wireNacks[p] = reg.Counter("bgla_wire_delta_nacks_total", "self", self, "peer", peer)
+		n.wireResends[p] = reg.Counter("bgla_wire_delta_resends_total", "self", self, "peer", peer)
+		reg.CounterFunc("bgla_wire_delta_frames_total", func() uint64 {
+			d, _ := enc.Frames()
+			return uint64(d)
+		}, "self", self, "peer", peer)
+		reg.CounterFunc("bgla_wire_full_frames_total", func() uint64 {
+			_, f := enc.Frames()
+			return uint64(f)
+		}, "self", self, "peer", peer)
 	}
+	reg.CounterFunc("bgla_wire_rejected_hellos_total", func() uint64 {
+		return uint64(n.rejectedHellos.Load())
+	}, "self", self)
 	return n, nil
 }
 
@@ -474,6 +508,9 @@ func (n *Node) readLoop(conn net.Conn) {
 		if nack != nil {
 			// Unknown delta base: ask the sender for the full set.
 			n.deltaNacksSent.Add(1)
+			if c := n.wireNacks[h.From]; c != nil {
+				c.Inc()
+			}
 			n.sendTo(h.From, *nack)
 			continue
 		}
@@ -489,6 +526,9 @@ func (n *Node) readLoop(conn net.Conn) {
 				if retained, served := enc.HandleNack(nk); served {
 					n.sendTo(h.From, retained)
 					n.deltaResends.Add(1)
+					if c := n.wireResends[h.From]; c != nil {
+						c.Inc()
+					}
 				}
 			}
 			continue

@@ -7,6 +7,7 @@ import (
 
 	"bgla/internal/lattice"
 	"bgla/internal/msg"
+	"bgla/internal/obs"
 )
 
 // Log is one replica's durable storage engine: an append-only
@@ -191,16 +192,38 @@ func (l *Log) sync() error {
 		l.pending = 0
 		return nil
 	}
+	n := l.pending
 	l.pending = 0
 	if l.hooks.drop() {
 		l.nSyncsDropped.Add(1)
+		l.traceSync("dropped", n)
 		return nil
 	}
 	if err := l.cur.Sync(); err != nil {
 		return l.fail(err)
 	}
 	l.nSyncs.Add(1)
+	l.traceSync("", n)
 	return nil
+}
+
+// traceSync emits one wal_sync consensus trace event (DESIGN.md §9);
+// no-op without a Tracer. Called from the owning driver goroutine, so
+// under faultnet the emission order — and hence the trace bytes — is
+// deterministic.
+func (l *Log) traceSync(key string, pending int) {
+	if l.opt.Trace == nil {
+		return
+	}
+	l.opt.Trace.Emit(obs.Event{
+		T:      l.opt.Clock.Now(),
+		Kind:   obs.EvWalSync,
+		Shard:  l.opt.Shard,
+		Proc:   l.opt.Proc,
+		Round:  l.seq,
+		Key:    key,
+		Detail: fmt.Sprintf("n=%d", pending),
+	})
 }
 
 // AppendDecided logs one decided round's delta beyond what is already

@@ -31,6 +31,8 @@ package wal
 import (
 	"fmt"
 	"sync"
+
+	"bgla/internal/obs"
 )
 
 // SyncPolicy selects when appended records are fsynced.
@@ -92,6 +94,16 @@ type Options struct {
 	KeepSnapshots int
 	// Hooks, when non-nil, inject storage faults (tests only).
 	Hooks *Hooks
+	// Trace, when non-nil, receives one obs.EvWalSync consensus trace
+	// event per fsync decision (effective and hook-dropped alike),
+	// timestamped by Clock and labeled Shard/Proc (DESIGN.md §9).
+	Trace *obs.Tracer
+	// Clock timestamps trace events (nil = obs.WallClock).
+	Clock obs.Clock
+	// Shard and Proc label trace events with the owning shard and
+	// replica identity.
+	Shard int
+	Proc  string
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +115,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.KeepSnapshots <= 0 {
 		o.KeepSnapshots = 2
+	}
+	if o.Clock == nil {
+		o.Clock = obs.WallClock
 	}
 	return o
 }

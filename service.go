@@ -13,11 +13,50 @@ import (
 	"bgla/internal/core/gwts"
 	"bgla/internal/ident"
 	"bgla/internal/msg"
+	"bgla/internal/obs"
 	"bgla/internal/proto"
 	"bgla/internal/rsm"
 	"bgla/internal/sig"
 	"bgla/internal/wal"
 )
+
+// ObsConfig wires a cluster into the unified observability layer
+// (internal/obs, DESIGN.md §9). The zero value is fully functional:
+// every instrument lands in a private registry (so the Stats snapshot
+// API always works) and no trace is recorded.
+type ObsConfig struct {
+	// Registry receives every metric family the stack registers:
+	// pipeline counters and gauges, the decision-latency histogram, and
+	// pull-mode views over the compaction and storage aggregates. Nil
+	// gets a private registry, reachable through Service.Metrics.
+	Registry *obs.Registry
+	// Clock timestamps trace events and decision-latency samples (nil =
+	// obs.WallClock). The deterministic harness substitutes faultnet
+	// virtual time, which makes the consensus trace byte-stable across
+	// same-seed runs.
+	Clock obs.Clock
+	// ConsensusTrace, when non-nil, receives the replica-side protocol
+	// events (propose/ack/tally/decide/ckpt_install/state_transfer/
+	// wal_sync). All fields are deterministic functions of machine state,
+	// so under faultnet with the virtual clock the trace is byte-stable.
+	ConsensusTrace *obs.Tracer
+	// ClientTrace, when non-nil, receives the batching pipeline's
+	// client-side events (flight launch/decide). Launches race residual
+	// network deliveries, so this trace is NOT byte-stable even under
+	// faultnet — keep it out of determinism assertions.
+	ClientTrace *obs.Tracer
+}
+
+// normalize resolves the nil defaults once, so every component built
+// from the config shares one registry and clock.
+func (o *ObsConfig) normalize() {
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.Clock == nil {
+		o.Clock = obs.WallClock
+	}
+}
 
 // ServiceConfig configures a live in-process Byzantine-tolerant RSM.
 type ServiceConfig struct {
@@ -90,6 +129,11 @@ type ServiceConfig struct {
 	// SegmentBytes rotates WAL segments at this size (0 = 1 MiB).
 	SegmentBytes int
 
+	// Obs wires the cluster's instruments and traces into a shared
+	// observability surface (zero value = private registry, wall clock,
+	// no tracing).
+	Obs ObsConfig
+
 	// Hooks are test-only fault-injection points: a replacement
 	// transport (the deterministic harness of internal/faultnet),
 	// per-slot replica wrappers (active Byzantine adversaries,
@@ -147,6 +191,18 @@ type Service struct {
 	seq  atomic.Int64
 
 	closeOnce sync.Once
+	closed    atomic.Bool
+	frozen    frozenStats
+}
+
+// frozenStats is the terminal snapshot Close captures after teardown,
+// so the Stats surfaces stay stable (and race-free) once the cluster
+// is gone.
+type frozenStats struct {
+	batch      BatchStats
+	compaction CompactionStats
+	storage    StorageStats
+	latency    obs.HistSnapshot
 }
 
 // replicaCompaction builds the per-replica checkpoint configuration
@@ -196,6 +252,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if cfg.OpTimeout == 0 {
 		cfg.OpTimeout = defaultOpTimeout
 	}
+	cfg.Obs.normalize()
 	mute := ident.NewSet()
 	for _, i := range cfg.MuteReplicas {
 		mute.Add(ident.ProcessID(i))
@@ -217,6 +274,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		rc := rsm.ReplicaConfig{
 			Self: id, N: cfg.Replicas, F: cfg.Faulty,
 			Clients: []ident.ProcessID{clientID},
+			Trace:   cfg.Obs.ConsensusTrace, Clock: cfg.Obs.Clock,
 		}
 		if kc != nil {
 			rc.Compaction = replicaCompaction(cfg, kc, id)
@@ -272,10 +330,14 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		QueueDepth:  cfg.QueueDepth,
 		OpTimeout:   cfg.OpTimeout,
 		StartSeq:    uint64(startSeq),
+		Registry:    cfg.Obs.Registry,
+		Clock:       cfg.Obs.Clock,
+		Trace:       cfg.Obs.ClientTrace,
 	}, transportSender{net: net})
 	if err != nil {
 		return nil, err
 	}
+	registerClusterViews(cfg.Obs.Registry, reps, pers)
 	gw.deliver = pipe.Deliver
 	net.Start()
 	s := &Service{cfg: cfg, net: net, gw: gw, pipe: pipe, reps: reps, pers: pers}
@@ -311,6 +373,17 @@ func (s *Service) Close() {
 		for _, p := range s.pers {
 			_ = p.Close()
 		}
+		// Everything has stopped moving: freeze the stats surfaces so
+		// post-close snapshots are stable — a scraper (or a test)
+		// reading after Close sees one consistent terminal state, never
+		// a machine mid-teardown.
+		s.frozen = frozenStats{
+			batch:      batchStatsOf(s.pipe),
+			compaction: aggregateCompaction(s.reps),
+			storage:    aggregateStorage(s.pers),
+			latency:    s.pipe.LatencySnapshot(),
+		}
+		s.closed.Store(true)
 	})
 }
 
@@ -356,14 +429,39 @@ type BatchStats struct {
 	AvgBatch            float64
 }
 
-// BatchStats snapshots the batching pipeline's counters.
-func (s *Service) BatchStats() BatchStats {
-	st := s.pipe.Stats()
+// batchStatsOf converts one pipeline's live counters to the public
+// snapshot shape.
+func batchStatsOf(p *batch.Pipeline) BatchStats {
+	st := p.Stats()
 	return BatchStats{
 		Ops: st.Ops, Updates: st.Updates, Reads: st.Reads,
 		Flights: st.Flights, MaxBatchOps: st.MaxBatchOps,
 		Timeouts: st.Timeouts, AvgBatch: st.AvgBatch(),
 	}
+}
+
+// BatchStats snapshots the batching pipeline's counters. After Close
+// it returns the frozen terminal snapshot.
+func (s *Service) BatchStats() BatchStats {
+	if s.closed.Load() {
+		return s.frozen.batch
+	}
+	return batchStatsOf(s.pipe)
+}
+
+// Metrics returns the registry backing the cluster's instruments (the
+// configured ObsConfig.Registry, or the private one the zero config
+// got). Serve it with obs.Handler for live /metrics and /debug/vars.
+func (s *Service) Metrics() *obs.Registry { return s.cfg.Obs.Registry }
+
+// LatencyStats returns the decision-latency histogram (flight launch
+// to decide quorum, in Clock units — nanoseconds under the wall
+// clock). After Close it returns the frozen terminal snapshot.
+func (s *Service) LatencyStats() obs.HistSnapshot {
+	if s.closed.Load() {
+		return s.frozen.latency
+	}
+	return s.pipe.LatencySnapshot()
 }
 
 // CompactionStats aggregates the replicas' checkpoint activity: how
@@ -411,8 +509,14 @@ func aggregateCompaction(reps []*gwts.Machine) CompactionStats {
 }
 
 // CompactionStats snapshots the correct replicas' checkpoint counters
-// (atomics — safe while the cluster runs).
-func (s *Service) CompactionStats() CompactionStats { return aggregateCompaction(s.reps) }
+// (atomics — safe while the cluster runs). After Close it returns the
+// frozen terminal snapshot.
+func (s *Service) CompactionStats() CompactionStats {
+	if s.closed.Load() {
+		return s.frozen.compaction
+	}
+	return aggregateCompaction(s.reps)
+}
 
 // StorageStats aggregates the replicas' durable-log activity (all zero
 // when DataDir is unset). See wal.Stats for the per-log fields.
@@ -456,5 +560,41 @@ func aggregateStorage(pers []*wal.Persister) StorageStats {
 }
 
 // StorageStats snapshots the replicas' WAL counters (atomics — safe
-// while the cluster runs).
-func (s *Service) StorageStats() StorageStats { return aggregateStorage(s.pers) }
+// while the cluster runs). After Close it returns the frozen terminal
+// snapshot.
+func (s *Service) StorageStats() StorageStats {
+	if s.closed.Load() {
+		return s.frozen.storage
+	}
+	return aggregateStorage(s.pers)
+}
+
+// registerClusterViews registers pull-mode registry views over the
+// compaction and storage aggregates, so /metrics exposes the same
+// numbers the CompactionStats/StorageStats snapshots report. Re-used
+// registries replace the views (CounterFunc semantics) — the newest
+// cluster wins, matching how tests rebuild services over one registry.
+func registerClusterViews(reg *obs.Registry, reps []*gwts.Machine, pers []*wal.Persister) {
+	comp := func(pick func(CompactionStats) int64) func() uint64 {
+		return func() uint64 { return uint64(pick(aggregateCompaction(reps))) }
+	}
+	reg.CounterFunc("bgla_ckpt_installs_total", comp(func(c CompactionStats) int64 { return c.Installs }))
+	reg.CounterFunc("bgla_ckpt_certs_total", comp(func(c CompactionStats) int64 { return c.CertsBuilt }))
+	reg.CounterFunc("bgla_ckpt_sigs_total", comp(func(c CompactionStats) int64 { return c.SigsIssued }))
+	reg.CounterFunc("bgla_ckpt_transfers_total", comp(func(c CompactionStats) int64 { return c.TransfersServed }), "dir", "served")
+	reg.CounterFunc("bgla_ckpt_transfers_total", comp(func(c CompactionStats) int64 { return c.TransfersReceived }), "dir", "received")
+	reg.CounterFunc("bgla_ckpt_transfers_total", comp(func(c CompactionStats) int64 { return c.TransfersRequested }), "dir", "requested")
+	reg.GaugeFunc("bgla_ckpt_epoch", func() int64 { return aggregateCompaction(reps).MaxEpoch })
+	reg.GaugeFunc("bgla_ckpt_base_len", func() int64 { return aggregateCompaction(reps).MaxBaseLen })
+
+	stor := func(pick func(StorageStats) int64) func() uint64 {
+		return func() uint64 { return uint64(pick(aggregateStorage(pers))) }
+	}
+	reg.CounterFunc("bgla_wal_records_total", stor(func(s StorageStats) int64 { return s.Records }))
+	reg.CounterFunc("bgla_wal_bytes_total", stor(func(s StorageStats) int64 { return s.Bytes }))
+	reg.CounterFunc("bgla_wal_syncs_total", stor(func(s StorageStats) int64 { return s.Syncs }))
+	reg.CounterFunc("bgla_wal_syncs_dropped_total", stor(func(s StorageStats) int64 { return s.SyncsDropped }))
+	reg.CounterFunc("bgla_wal_rotations_total", stor(func(s StorageStats) int64 { return s.Rotations }))
+	reg.CounterFunc("bgla_wal_snapshots_total", stor(func(s StorageStats) int64 { return s.Snapshots }))
+	reg.CounterFunc("bgla_wal_errors_total", stor(func(s StorageStats) int64 { return s.Errors }))
+}

@@ -16,6 +16,7 @@ import (
 	"bgla/internal/ident"
 	"bgla/internal/lattice"
 	"bgla/internal/msg"
+	"bgla/internal/obs"
 	"bgla/internal/proto"
 	"bgla/internal/rsm"
 	"bgla/internal/shard"
@@ -77,6 +78,17 @@ type Store struct {
 	rng   *rand.Rand
 
 	closeOnce sync.Once
+	closed    atomic.Bool
+	frozen    frozenStoreStats
+}
+
+// frozenStoreStats is the terminal snapshot Close captures after
+// teardown (see Service.Close).
+type frozenStoreStats struct {
+	store      StoreStats
+	compaction CompactionStats
+	storage    StorageStats
+	latency    obs.HistSnapshot
 }
 
 // NewStore builds and starts the sharded cluster.
@@ -96,6 +108,7 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 	if cfg.OpTimeout == 0 {
 		cfg.OpTimeout = defaultOpTimeout
 	}
+	cfg.Obs.normalize()
 
 	// Per-shard mute sets: process-wide mutes apply everywhere, shard
 	// mutes only to their shard. Each shard independently tolerates at
@@ -152,6 +165,8 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 			rc := rsm.ReplicaConfig{
 				Self: id, N: cfg.Replicas, F: cfg.Faulty,
 				Clients: []ident.ProcessID{clientID},
+				Trace:   cfg.Obs.ConsensusTrace, Clock: cfg.Obs.Clock,
+				Shard: s,
 			}
 			if kc != nil {
 				rc.Compaction = replicaCompaction(shardCfg, kc, id)
@@ -225,6 +240,10 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 			QueueDepth:  cfg.QueueDepth,
 			OpTimeout:   cfg.OpTimeout,
 			StartSeq:    uint64(startSeq),
+			Registry:    cfg.Obs.Registry,
+			Shard:       s,
+			Clock:       cfg.Obs.Clock,
+			Trace:       cfg.Obs.ClientTrace,
 		}, shard.NewSender(s, func(to ident.ProcessID, m msg.Msg) {
 			net.Inject(clientID, to, m)
 		}))
@@ -245,6 +264,11 @@ func NewStore(cfg ShardedConfig) (*Store, error) {
 		rng: rand.New(rand.NewSource(cfg.Seed + 0x5ca0)),
 	}
 	st.seq.Store(uint64(startSeq))
+	registerClusterViews(cfg.Obs.Registry, reps, pers)
+	reg := cfg.Obs.Registry
+	reg.CounterFunc("bgla_scans_total", st.scans.Load)
+	reg.CounterFunc("bgla_scan_passes_total", st.scanPasses.Load)
+	reg.CounterFunc("bgla_scan_retries_total", st.scanRetries.Load)
 	return st, nil
 }
 
@@ -267,6 +291,15 @@ func (st *Store) Close() {
 		for _, p := range st.pers {
 			_ = p.Close()
 		}
+		// Freeze the stats surfaces (see Service.Close): post-close
+		// snapshots return one consistent terminal state.
+		st.frozen = frozenStoreStats{
+			store:      st.liveStats(),
+			compaction: aggregateCompaction(st.reps),
+			storage:    aggregateStorage(st.pers),
+			latency:    st.liveLatency(),
+		}
+		st.closed.Store(true)
 	})
 }
 
@@ -460,19 +493,22 @@ type StoreStats struct {
 	ScanRetries uint64
 }
 
-// Stats snapshots the store's counters.
+// Stats snapshots the store's counters. After Close it returns the
+// frozen terminal snapshot.
 func (st *Store) Stats() StoreStats {
+	if st.closed.Load() {
+		return st.frozen.store
+	}
+	return st.liveStats()
+}
+
+func (st *Store) liveStats() StoreStats {
 	out := StoreStats{
 		Scans: st.scans.Load(), ScanPasses: st.scanPasses.Load(),
 		ScanRetries: st.scanRetries.Load(),
 	}
 	for _, p := range st.pipes {
-		s := p.Stats()
-		bs := BatchStats{
-			Ops: s.Ops, Updates: s.Updates, Reads: s.Reads,
-			Flights: s.Flights, MaxBatchOps: s.MaxBatchOps,
-			Timeouts: s.Timeouts, AvgBatch: s.AvgBatch(),
-		}
+		bs := batchStatsOf(p)
 		out.PerShard = append(out.PerShard, bs)
 		out.Total.Ops += bs.Ops
 		out.Total.Updates += bs.Updates
@@ -491,10 +527,44 @@ func (st *Store) Stats() StoreStats {
 
 // CompactionStats aggregates checkpoint activity across every shard
 // replica (atomics — safe while the store runs). All zero unless
-// CheckpointEvery/CheckpointBytes are set.
-func (st *Store) CompactionStats() CompactionStats { return aggregateCompaction(st.reps) }
+// CheckpointEvery/CheckpointBytes are set. After Close it returns the
+// frozen terminal snapshot.
+func (st *Store) CompactionStats() CompactionStats {
+	if st.closed.Load() {
+		return st.frozen.compaction
+	}
+	return aggregateCompaction(st.reps)
+}
 
 // StorageStats aggregates WAL activity across every shard replica's
 // durable log (atomics — safe while the store runs). All zero unless
-// DataDir is set.
-func (st *Store) StorageStats() StorageStats { return aggregateStorage(st.pers) }
+// DataDir is set. After Close it returns the frozen terminal snapshot.
+func (st *Store) StorageStats() StorageStats {
+	if st.closed.Load() {
+		return st.frozen.storage
+	}
+	return aggregateStorage(st.pers)
+}
+
+// Metrics returns the registry backing the store's instruments (the
+// configured ObsConfig.Registry, or the private one the zero config
+// got). Per-shard series are labeled shard="<s>".
+func (st *Store) Metrics() *obs.Registry { return st.cfg.Obs.Registry }
+
+// LatencyStats merges the per-shard decision-latency histograms into
+// one store-level snapshot. After Close it returns the frozen terminal
+// snapshot.
+func (st *Store) LatencyStats() obs.HistSnapshot {
+	if st.closed.Load() {
+		return st.frozen.latency
+	}
+	return st.liveLatency()
+}
+
+func (st *Store) liveLatency() obs.HistSnapshot {
+	var out obs.HistSnapshot
+	for _, p := range st.pipes {
+		out.Merge(p.LatencySnapshot())
+	}
+	return out
+}

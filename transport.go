@@ -109,6 +109,10 @@ func (cfg ServiceConfig) walOptions(shard, replica int) (wal.Options, error) {
 		Policy:       pol,
 		GroupEvery:   cfg.GroupSync,
 		SegmentBytes: cfg.SegmentBytes,
+		Trace:        cfg.Obs.ConsensusTrace,
+		Clock:        cfg.Obs.Clock,
+		Shard:        shard,
+		Proc:         ident.ProcessID(replica).String(),
 	}
 	if cfg.Hooks != nil && cfg.Hooks.Storage != nil && cfg.Hooks.Storage.Hooks != nil {
 		opt.Hooks = cfg.Hooks.Storage.Hooks(shard, replica)
