@@ -1,0 +1,145 @@
+// Command perfgate is the performance-regression gate run by CI: it
+// re-runs the E16 wire-codec and E17 sharded-store benchmarks at the
+// full (non-quick) parameter shapes and compares them against the
+// committed BENCH_wire.json and BENCH_shard.json baselines. The gate
+// fails (non-zero exit) when
+//
+//   - a deterministic bytes/op metric grows by more than the
+//     tolerance (default 20%),
+//   - decided ops/sec drops by more than the tolerance, or
+//   - a pass flag that is true in the committed baseline flips false.
+//
+// Baseline rows are matched by workload shape (history+ops for E16,
+// shards+clients+ops/client for E17). A shape mismatch means the
+// committed baseline predates a workload change and must be
+// regenerated with cmd/bglabench — that too is a failure, never a
+// silent skip.
+//
+// Usage:
+//
+//	perfgate [-wire BENCH_wire.json] [-shard BENCH_shard.json] [-tol 0.20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"bgla/internal/exp"
+)
+
+var failed int
+
+// check reports one comparison; worse=true fails the gate.
+func check(name string, base, fresh float64, worse bool) {
+	mark := "ok  "
+	if worse {
+		mark = "FAIL"
+		failed++
+	}
+	fmt.Printf("  %s %-40s base %12.2f  now %12.2f\n", mark, name, base, fresh)
+}
+
+// load decodes one committed baseline file into out.
+func load(path string, out any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func gateWire(path string, tol float64) error {
+	var base exp.WireBenchReport
+	if err := load(path, &base); err != nil {
+		return err
+	}
+	fresh, err := exp.WireDeltaReport(false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E16 wire codec vs %s (tolerance %.0f%%)\n", path, tol*100)
+	for _, b := range base.Rows {
+		var f *exp.WireBenchRow
+		for i := range fresh.Rows {
+			if fresh.Rows[i].History == b.History && fresh.Rows[i].Ops == b.Ops {
+				f = &fresh.Rows[i]
+				break
+			}
+		}
+		if f == nil {
+			return fmt.Errorf("no fresh row matches baseline shape history=%d ops=%d — regenerate %s with cmd/bglabench", b.History, b.Ops, path)
+		}
+		pre := fmt.Sprintf("h=%d ", b.History)
+		check(pre+"full B/op", b.FullBytesPerOp, f.FullBytesPerOp, f.FullBytesPerOp > b.FullBytesPerOp*(1+tol))
+		check(pre+"delta B/op", b.DeltaBytesPerOp, f.DeltaBytesPerOp, f.DeltaBytesPerOp > b.DeltaBytesPerOp*(1+tol))
+		if b.BinDeltaBytesPerOp > 0 {
+			check(pre+"bin delta B/op", b.BinDeltaBytesPerOp, f.BinDeltaBytesPerOp, f.BinDeltaBytesPerOp > b.BinDeltaBytesPerOp*(1+tol))
+		}
+	}
+	if base.Pass5x && !fresh.Pass5x {
+		fmt.Println("  FAIL pass_5x flipped false")
+		failed++
+	}
+	if base.PassAllocs10x && !fresh.PassAllocs10x {
+		fmt.Println("  FAIL pass_allocs_10x flipped false")
+		failed++
+	}
+	return nil
+}
+
+func gateShard(path string, tol float64) error {
+	var base exp.ShardBenchReport
+	if err := load(path, &base); err != nil {
+		return err
+	}
+	fresh, err := exp.ShardThroughputReport(false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E17 sharded store vs %s (tolerance %.0f%%)\n", path, tol*100)
+	for _, b := range base.Rows {
+		var f *exp.ShardBenchRow
+		for i := range fresh.Rows {
+			if fresh.Rows[i].Shards == b.Shards && fresh.Rows[i].Clients == b.Clients && fresh.Rows[i].OpsPerClient == b.OpsPerClient {
+				f = &fresh.Rows[i]
+				break
+			}
+		}
+		if f == nil {
+			return fmt.Errorf("no fresh row matches baseline shape shards=%d clients=%d ops/client=%d — regenerate %s with cmd/bglabench", b.Shards, b.Clients, b.OpsPerClient, path)
+		}
+		check(fmt.Sprintf("S=%d decided ops/sec", b.Shards), b.OpsPerSec, f.OpsPerSec, f.OpsPerSec < b.OpsPerSec*(1-tol))
+	}
+	if base.Pass2x && !fresh.Pass2x {
+		fmt.Println("  FAIL pass_at_4_shards flipped false")
+		failed++
+	}
+	return nil
+}
+
+func main() {
+	wire := flag.String("wire", "BENCH_wire.json", "committed E16 baseline (empty disables)")
+	shard := flag.String("shard", "BENCH_shard.json", "committed E17 baseline (empty disables)")
+	tol := flag.Float64("tol", 0.20, "allowed fractional regression per metric")
+	flag.Parse()
+
+	if *wire != "" {
+		if err := gateWire(*wire, *tol); err != nil {
+			fmt.Fprintf(os.Stderr, "perfgate: E16: %v\n", err)
+			failed++
+		}
+	}
+	if *shard != "" {
+		if err := gateShard(*shard, *tol); err != nil {
+			fmt.Fprintf(os.Stderr, "perfgate: E17: %v\n", err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "perfgate: %d regression(s) beyond tolerance\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("perfgate: all tracked metrics within tolerance")
+}

@@ -11,6 +11,13 @@
 // per-round latency and resident memory flat as history grows and
 // letting restarted replicas catch up by state transfer — see
 // DESIGN.md §6.
+//
+// On the wire (cmd/bglarsm, internal/tcpnet), peers negotiate the
+// zero-allocation binary frame codec at connection time and fall back
+// to plain JSON envelopes per connection when either side predates it
+// or forces interop mode (tcpnet.Config.PlainCodec, bglarsm
+// -plaincodec) — see DESIGN.md §10 for the frame layout and the
+// negotiation rules.
 package main
 
 import (

@@ -115,7 +115,17 @@ func (c *CkptForger) Handle(from ident.ProcessID, m msg.Msg) []proto.Output {
 		c.captured = append(c.captured, v)
 		doctored := v
 		doctored.Epoch++
-		outs := []proto.Output{proto.Bcast(doctored)}
+		// And padded: the genuine quorum plus one garbage signature.
+		// Verification batches a certificate's signatures, so the
+		// forged entry must be isolated to its own slot — receivers
+		// still accept the valid quorum around it.
+		padded := v
+		padded.Sigs = append(append([]msg.CkptSig(nil), v.Sigs...), msg.CkptSig{
+			Epoch: v.Epoch, Round: v.Round, Len: v.Len,
+			Dig: v.Dig, Image: v.Image,
+			Signer: c.Self, Sig: []byte("batch-poison-attempt"),
+		})
+		outs := []proto.Output{proto.Bcast(doctored), proto.Bcast(padded)}
 		if len(c.captured) > 1 {
 			outs = append(outs, proto.Bcast(c.captured[0])) // stale replay
 		}

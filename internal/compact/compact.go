@@ -109,16 +109,32 @@ func VerifyCert(kc sig.Keychain, n, f int, c msg.CkptCert) bool {
 		return false
 	}
 	pre := Preimage(c.Round, c.Len, c.Dig, c.Image)
-	seen := ident.NewSet()
-	valid := 0
+	// Structural screen first, then verify the survivors as one batch:
+	// signature work amortizes across the quorum (and across repeated
+	// deliveries, when kc carries a verified-signature cache) while a
+	// forged signature invalidates only its own slot, never the batch.
+	cand := make([]msg.CkptSig, 0, len(c.Sigs))
 	for _, s := range c.Sigs {
-		if s.Signer < 0 || int(s.Signer) >= n || seen.Has(s.Signer) {
+		if s.Signer < 0 || int(s.Signer) >= n {
 			continue
 		}
 		if s.Round != c.Round || s.Len != c.Len || s.Dig != c.Dig || !bytes.Equal(s.Image, c.Image) {
 			continue
 		}
-		if !kc.Verify(s.Signer, pre, s.Sig) {
+		cand = append(cand, s)
+	}
+	if len(cand) < CertQuorum(f) {
+		return false
+	}
+	reqs := make([]sig.Request, len(cand))
+	for i, s := range cand {
+		reqs[i] = sig.Request{Signer: s.Signer, Data: pre, Sig: s.Sig}
+	}
+	verdicts := sig.VerifyBatch(kc, reqs)
+	seen := ident.NewSet()
+	valid := 0
+	for i, s := range cand {
+		if !verdicts[i] || seen.Has(s.Signer) {
 			continue
 		}
 		seen.Add(s.Signer)

@@ -82,6 +82,18 @@ func TestVerifyCert(t *testing.T) {
 	if VerifyCert(kc, n, f, alien) {
 		t.Fatal("out-of-range signer must not count")
 	}
+
+	// Forged-signature isolation: signatures verify as one batch, and
+	// a garbage entry padded onto a genuine quorum must fail alone —
+	// the valid 2f+1 around it still carry the certificate.
+	padded := cert
+	junk := cert.Sigs[0]
+	junk.Signer = 3
+	junk.Sig = []byte("batch-poison-attempt")
+	padded.Sigs = append(append([]msg.CkptSig(nil), cert.Sigs...), junk)
+	if !VerifyCert(kc, n, f, padded) {
+		t.Fatal("forged signature poisoned the valid batch around it")
+	}
 }
 
 func newTracker(id ident.ProcessID, kc sig.Keychain, every int) *Tracker {

@@ -115,6 +115,12 @@ func NewTracker(cfg Config) *Tracker {
 	if !cfg.enabled() {
 		return nil
 	}
+	if cfg.Keychain != nil {
+		// Digest-keyed verified-signature cache: re-delivered
+		// countersignatures and certificates (retries, gossip overlap,
+		// Byzantine replays) cost a hash lookup, not a curve operation.
+		cfg.Keychain = sig.NewCache(cfg.Keychain, 0)
+	}
 	return &Tracker{
 		cfg:      cfg,
 		proposed: make(map[lattice.Digest]bool),

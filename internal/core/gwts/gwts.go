@@ -26,6 +26,7 @@ package gwts
 
 import (
 	"fmt"
+	"strconv"
 
 	"bgla/internal/compact"
 	"bgla/internal/core"
@@ -140,9 +141,19 @@ type Machine struct {
 	ts       uint32
 	pendingV lattice.Set // values waiting for the next batch (Batch[r+1])
 	inputs   lattice.Set // every value ever received (for Inclusivity checking)
-	proposed lattice.Set // Proposed_set (cumulative)
-	decided  lattice.Set // Decided_set
-	decSeq   []lattice.Set
+	// inputExtra buffers received values not yet folded into inputs:
+	// folding a singleton into an O(history) set per NewValue was the
+	// single largest allocation site in the decide hot path, and inputs
+	// is only read for Inclusivity checks, so the fold happens lazily in
+	// Inputs().
+	inputExtra []lattice.Item
+	proposed   lattice.Set // Proposed_set (cumulative)
+	decided    lattice.Set // Decided_set
+	decSeq     []lattice.Set
+	// anchor is the local representation base the live sets are
+	// re-anchored on when certificate-backed compaction is disabled
+	// (see maybeAutoAnchor).
+	anchor *lattice.Base
 
 	// Acceptor state (Alg 4).
 	accepted lattice.Set
@@ -216,13 +227,24 @@ func (m *Machine) Decisions() []lattice.Set { return m.decSeq }
 func (m *Machine) Decided() lattice.Set { return m.decided }
 
 // Inputs returns the union of all values this process received.
-func (m *Machine) Inputs() lattice.Set { return m.inputs }
+func (m *Machine) Inputs() lattice.Set {
+	if len(m.inputExtra) > 0 {
+		m.inputs = m.inputs.Union(lattice.FromItems(m.inputExtra...))
+		m.inputExtra = nil
+	}
+	return m.inputs
+}
 
 // Proposed returns the cumulative Proposed_set.
 func (m *Machine) Proposed() lattice.Set { return m.proposed }
 
 // Rejected returns the count of discarded messages.
 func (m *Machine) Rejected() int { return m.rejected + m.peer.Rejected() }
+
+// tracing reports whether a Tracer is attached; hot-path call sites
+// check it before building Sprintf details so an untraced machine pays
+// no formatting allocations.
+func (m *Machine) tracing() bool { return m.cfg.Trace != nil }
 
 // trace emits one consensus trace event; no-op without a Tracer.
 func (m *Machine) trace(kind obs.EventKind, round int, key, detail string) {
@@ -240,10 +262,19 @@ func (m *Machine) trace(kind obs.EventKind, round int, key, detail string) {
 	})
 }
 
-func discTag(round int) string { return fmt.Sprintf("gwts/disc/%d", round) }
+func discTag(round int) string {
+	return string(strconv.AppendInt([]byte("gwts/disc/"), int64(round), 10))
+}
 
 func ackTag(dest ident.ProcessID, ts uint32, round int) string {
-	return fmt.Sprintf("gwts/ack/%v/%d/%d", dest, ts, round)
+	b := make([]byte, 0, 32)
+	b = append(b, "gwts/ack/p"...)
+	b = strconv.AppendInt(b, int64(dest), 10)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, uint64(ts), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(round), 10)
+	return string(b)
 }
 
 // Start begins round 0 when there is anything to propose (Alg 3 line 11).
@@ -263,7 +294,9 @@ func (m *Machine) startRound(round int) []proto.Output {
 	m.pendingV = lattice.Empty()
 	m.proposed = m.proposed.Union(batch)
 	m.Emit(proto.JoinRoundEvent{Proc: m.cfg.Self, Round: round})
-	m.trace(obs.EvPropose, round, "", fmt.Sprintf("batch=%d proposed=%d", batch.Len(), m.proposed.Len()))
+	if m.tracing() {
+		m.trace(obs.EvPropose, round, "", fmt.Sprintf("batch=%d proposed=%d", batch.Len(), m.proposed.Len()))
+	}
 	outs := m.peer.Broadcast(discTag(round), msg.Disclosure{Round: round, Value: batch})
 	// The machine's own RBC delivery arrives through the driver; the
 	// transition to proposing happens in onDisclosure once Counter[r]
@@ -319,7 +352,7 @@ func (m *Machine) buffer(p pending) []proto.Output {
 // and opportunistically starts a round.
 func (m *Machine) onNewValue(v msg.NewValue) []proto.Output {
 	it := v.Cmd
-	m.inputs = m.inputs.Union(lattice.Singleton(it))
+	m.inputExtra = append(m.inputExtra, it)
 	if m.proposed.Contains(it) || m.pendingV.Contains(it) {
 		return nil // already in flight; set semantics make re-proposing redundant
 	}
@@ -451,7 +484,9 @@ func (m *Machine) acceptorOn(from ident.ProcessID, req msg.AckReq) []proto.Outpu
 			return nil // defensive: never reliable-broadcast the same tag twice
 		}
 		m.acked[key] = req.Round
-		m.trace(obs.EvAck, req.Round, from.String(), fmt.Sprintf("acc=%d", m.accepted.Len()))
+		if m.tracing() {
+			m.trace(obs.EvAck, req.Round, from.String(), fmt.Sprintf("acc=%d", m.accepted.Len()))
+		}
 		return m.peer.Broadcast(key, msg.AckB{Accepted: m.accepted, Dest: from, TS: req.TS, Round: req.Round})
 	}
 	out := proto.Send(from, msg.Nack{Accepted: m.accepted, TS: req.TS, Round: req.Round})
@@ -463,7 +498,9 @@ func (m *Machine) acceptorOn(from ident.ProcessID, req msg.AckReq) []proto.Outpu
 // decision rule.
 func (m *Machine) onAckB(src ident.ProcessID, a msg.AckB) []proto.Output {
 	m.tally.Add(src, a.Accepted, a.Dest, a.TS, a.Round)
-	m.trace(obs.EvTally, a.Round, a.Dest.String(), fmt.Sprintf("from=%s acc=%d", src, a.Accepted.Len()))
+	if m.tracing() {
+		m.trace(obs.EvTally, a.Round, a.Dest.String(), fmt.Sprintf("from=%s acc=%d", src, a.Accepted.Len()))
+	}
 	var outs []proto.Output
 	// Acceptor side: advance Safe_r while rounds keep legitimately
 	// ending (Alg 4 lines 17-19). Buffered messages unlocked by the
@@ -504,7 +541,10 @@ func (m *Machine) tryDecide() []proto.Output {
 	m.decSeq = append(m.decSeq, best)
 	m.state = NewRound
 	m.Emit(proto.DecideEvent{Proc: m.cfg.Self, Round: m.r, Value: best})
-	m.trace(obs.EvDecide, m.r, "", fmt.Sprintf("len=%d", best.Len()))
+	if m.tracing() {
+		m.trace(obs.EvDecide, m.r, "", fmt.Sprintf("len=%d", best.Len()))
+	}
+	m.maybeAutoAnchor()
 	var outs []proto.Output
 	for _, sub := range m.cfg.Subscribers {
 		outs = append(outs, proto.Send(sub, msg.Decide{Value: best, Round: m.r}))
@@ -523,6 +563,42 @@ func (m *Machine) tryDecide() []proto.Output {
 	}
 	outs = append(outs, m.maybeStartNext()...)
 	return outs
+}
+
+// autoAnchorEvery is the decided-window growth (in items) that triggers
+// a local re-anchoring of the machine's live sets on the decided prefix
+// when certificate-backed compaction is disabled. The rewrite is pure
+// representation — digests, lengths and message contents are unchanged
+// — but it bounds the per-round set operations of the fold/tally hot
+// loops to O(window) the same way a checkpoint install does, without
+// signatures or protocol traffic: every Union/SubsetOf between two sets
+// sharing the anchor runs on the windows alone. Correct replicas
+// converge on the same decided prefixes, so their anchors coincide by
+// content digest and cross-replica window operations stay O(window);
+// when anchors transiently diverge the mixed-representation fallbacks
+// keep everything correct, just slower.
+const autoAnchorEvery = 128
+
+// maybeAutoAnchor re-anchors the live sets on the current decided
+// prefix once the window beyond the previous anchor has grown enough.
+// With compaction enabled the certified installs already rewrite state,
+// so the local anchor stays out of their way.
+func (m *Machine) maybeAutoAnchor() {
+	if m.ck != nil || m.decided.Len()-m.anchor.Len() < autoAnchorEvery {
+		return
+	}
+	base := lattice.NewBase(m.decided)
+	m.anchor = base
+	rebase := func(s lattice.Set) lattice.Set {
+		if nb, ok := s.Rebase(base); ok {
+			return nb
+		}
+		return s
+	}
+	m.decided = rebase(m.decided)
+	m.proposed = rebase(m.proposed)
+	m.accepted = rebase(m.accepted)
+	m.svs.RebaseTail(base, 4)
 }
 
 // maxDecSeqCompacted bounds the retained decision log under

@@ -23,36 +23,28 @@ import (
 
 // Crypto bundles a process's signer with the shared keychain and
 // implements every signature format and verification rule of Algs 8-10.
-// Verification results are memoized: AllSafe re-examines the same proofs
-// on every refined request, and signature checks dominate otherwise.
+// Verification results are memoized behind a digest-keyed
+// verified-signature cache (sig.Cache): AllSafe re-examines the same
+// proofs on every refined request, and signature checks dominate
+// otherwise. The cache is generation-bounded, so a Byzantine flood of
+// unique forgeries cannot exhaust memory.
 type Crypto struct {
-	kc     sig.Keychain
+	kc     *sig.Cache
 	signer sig.Signer
 	quorum int
-	memo   map[string]bool
 }
 
-// memoCap bounds the verification cache; beyond it the cache resets
-// (a Byzantine flood of unique forgeries must not exhaust memory).
-const memoCap = 1 << 17
+// memoCap bounds the verification cache per generation.
+const memoCap = 1 << 16
 
 // NewCrypto builds the crypto helper of one process.
 func NewCrypto(kc sig.Keychain, self ident.ProcessID, quorum int) *Crypto {
-	return &Crypto{kc: kc, signer: kc.SignerFor(self), quorum: quorum, memo: make(map[string]bool)}
+	return &Crypto{kc: sig.NewCache(kc, memoCap), signer: kc.SignerFor(self), quorum: quorum}
 }
 
 // verifyMemo checks p's signature over data with memoization.
 func (c *Crypto) verifyMemo(p ident.ProcessID, data, sigBytes []byte) bool {
-	key := fmt.Sprintf("%d\x00%s\x00%s", p, data, sigBytes)
-	if v, ok := c.memo[key]; ok {
-		return v
-	}
-	v := c.kc.Verify(p, data, sigBytes)
-	if len(c.memo) >= memoCap {
-		c.memo = make(map[string]bool)
-	}
-	c.memo[key] = v
-	return v
+	return c.kc.Verify(p, data, sigBytes)
 }
 
 // Signature preimages commit to the value's content digest instead of
@@ -152,12 +144,16 @@ func (c *Crypto) VerifyAck(a msg.SignedAck) bool {
 
 // VerifyCert checks a §8.2 decided certificate: ⌊(n+f)/2⌋+1 valid acks
 // from distinct signers, all for the same (value, dest, ts, round).
+// The structural screen runs first; the surviving ack signatures
+// verify as one batch, so the quorum's signature work amortizes (and
+// re-delivered certificates answer entirely from the cache).
 func (c *Crypto) VerifyCert(cert msg.DecidedCert) bool {
 	if len(cert.Acks) < c.quorum {
 		return false
 	}
 	seen := ident.NewSet()
 	first := cert.Acks[0]
+	reqs := make([]sig.Request, 0, len(cert.Acks))
 	for _, a := range cert.Acks {
 		if a.Round != cert.Round || !a.Accepted.Equal(cert.Value) {
 			return false
@@ -168,7 +164,14 @@ func (c *Crypto) VerifyCert(cert msg.DecidedCert) bool {
 		if !seen.Add(a.Signer) {
 			return false
 		}
-		if !c.VerifyAck(a) {
+		reqs = append(reqs, sig.Request{
+			Signer: a.Signer,
+			Data:   signedAckBytes(a.Signer, a.Dest, a.TS, a.Round, a.Accepted),
+			Sig:    a.Sig,
+		})
+	}
+	for _, ok := range c.kc.VerifyBatch(reqs) {
+		if !ok {
 			return false
 		}
 	}

@@ -167,6 +167,33 @@ func (rs *RoundSVS) Compact(before int, base *lattice.Base) {
 	}
 }
 
+// RebaseTail re-anchors only the most recent cumulative universes on
+// base (pure representation change). The hot-path predicate SAFEA only
+// consults the last entry, so re-anchoring the whole history at every
+// local anchor advance is wasted work — older entries keep their old
+// representation and straggler SafeAt lookups over them fall back to
+// the mixed-representation paths, which stay correct.
+func (rs *RoundSVS) RebaseTail(base *lattice.Base, tail int) {
+	start := len(rs.cum) - tail
+	if start < 0 {
+		start = 0
+	}
+	var lastIn, lastOut lattice.Set
+	first := true
+	for r := start; r < len(rs.cum); r++ {
+		if !first && rs.cum[r].Digest() == lastIn.Digest() {
+			rs.cum[r] = lastOut
+			continue
+		}
+		lastIn = rs.cum[r]
+		if nb, ok := rs.cum[r].Rebase(base); ok {
+			rs.cum[r] = nb
+		}
+		lastOut = rs.cum[r]
+		first = false
+	}
+}
+
 // SafeAt implements SAFE() at round r: element ⊆ ⋃_{r'≤r} SvS[r'].
 func (rs *RoundSVS) SafeAt(round int, element lattice.Set) bool {
 	if element.IsEmpty() {

@@ -24,17 +24,31 @@ func (k AckKey) String() string {
 }
 
 // AckTally counts distinct ack senders per tuple and remembers the
-// acknowledged set for each tuple.
+// acknowledged set for each tuple. Beyond the per-tuple maps it keeps
+// round- and digest-keyed indexes so the hot-path queries — RoundReached
+// per incoming AckB, AtQuorum per decision attempt, AnyQuorumValue per
+// read confirmation — cost O(1) or O(tuples-of-one-round) instead of a
+// scan over every tuple ever recorded (the pprof-visible cost that
+// motivated the indexes: the Safe_r advance rule runs on every ack).
 type AckTally struct {
 	senders map[AckKey]*ident.Set
 	values  map[AckKey]lattice.Set
+
+	byRound  map[int][]AckKey               // tuples per round, in insertion order
+	roundMax map[int]int                    // max distinct-sender count among a round's tuples
+	digMax   map[lattice.Digest]int         // max count among tuples carrying this value digest
+	digVal   map[lattice.Digest]lattice.Set // any recorded value per digest
 }
 
 // NewAckTally returns an empty tally.
 func NewAckTally() *AckTally {
 	return &AckTally{
-		senders: make(map[AckKey]*ident.Set),
-		values:  make(map[AckKey]lattice.Set),
+		senders:  make(map[AckKey]*ident.Set),
+		values:   make(map[AckKey]lattice.Set),
+		byRound:  make(map[int][]AckKey),
+		roundMax: make(map[int]int),
+		digMax:   make(map[lattice.Digest]int),
+		digVal:   make(map[lattice.Digest]lattice.Set),
 	}
 }
 
@@ -48,9 +62,20 @@ func (t *AckTally) Add(sender ident.ProcessID, accepted lattice.Set, dest ident.
 		set = ident.NewSet()
 		t.senders[k] = set
 		t.values[k] = accepted
+		t.byRound[round] = append(t.byRound[round], k)
+		if _, ok := t.digVal[k.Dig]; !ok {
+			t.digVal[k.Dig] = accepted
+		}
 	}
 	set.Add(sender)
-	return set.Len()
+	n := set.Len()
+	if n > t.roundMax[round] {
+		t.roundMax[round] = n
+	}
+	if n > t.digMax[k.Dig] {
+		t.digMax[k.Dig] = n
+	}
+	return n
 }
 
 // Count returns the distinct-sender count of a tuple.
@@ -72,9 +97,12 @@ type QuorumEntry struct {
 // AtQuorum returns all tuples of the given round with >= quorum distinct
 // senders, in deterministic order (by key string).
 func (t *AckTally) AtQuorum(round, quorum int) []QuorumEntry {
+	if t.roundMax[round] < quorum {
+		return nil
+	}
 	var out []QuorumEntry
-	for k, s := range t.senders {
-		if k.Round == round && s.Len() >= quorum {
+	for _, k := range t.byRound[round] {
+		if s := t.senders[k]; s != nil && s.Len() >= quorum {
 			out = append(out, QuorumEntry{Key: k, Value: t.values[k], Count: s.Len()})
 		}
 	}
@@ -87,24 +115,13 @@ func (t *AckTally) AtQuorum(round, quorum int) []QuorumEntry {
 // confirmation (Alg 7 line 4: "< ·, Accepted_set, ·, ·, timestamp, r >
 // appears ⌊(n+f)/2⌋+1 times in Ack_history").
 func (t *AckTally) AnyQuorumValue(value lattice.Set, quorum int) bool {
-	want := value.Digest()
-	for k, s := range t.senders {
-		if k.Dig == want && s.Len() >= quorum {
-			return true
-		}
-	}
-	return false
+	return t.digMax[value.Digest()] >= quorum
 }
 
 // RoundReached reports whether any tuple of the round reached quorum
 // (the acceptor's Safe_r advance rule, Alg 4 lines 17-19).
 func (t *AckTally) RoundReached(round, quorum int) bool {
-	for k, s := range t.senders {
-		if k.Round == round && s.Len() >= quorum {
-			return true
-		}
-	}
-	return false
+	return t.roundMax[round] >= quorum
 }
 
 // QuorumValueAt returns the value with the given content digest that
@@ -112,8 +129,14 @@ func (t *AckTally) RoundReached(round, quorum int) bool {
 // checkpoint countersigning (internal/compact): a replica only signs a
 // prefix its own Ack_history shows quorum-committed at that round.
 func (t *AckTally) QuorumValueAt(dig lattice.Digest, round, quorum int) (lattice.Set, bool) {
-	for k, s := range t.senders {
-		if k.Dig == dig && k.Round == round && s.Len() >= quorum {
+	if t.roundMax[round] < quorum || t.digMax[dig] < quorum {
+		return lattice.Set{}, false
+	}
+	for _, k := range t.byRound[round] {
+		if k.Dig != dig {
+			continue
+		}
+		if s := t.senders[k]; s != nil && s.Len() >= quorum {
 			return t.values[k], true
 		}
 	}
@@ -125,23 +148,43 @@ func (t *AckTally) QuorumValueAt(dig lattice.Digest, round, quorum int) (lattice
 // the trust, the tally merely supplies the items, and the caller
 // re-verifies the digest).
 func (t *AckTally) ValueByDigest(dig lattice.Digest) (lattice.Set, bool) {
-	for k, v := range t.values {
-		if k.Dig == dig {
-			return v, true
-		}
-	}
-	return lattice.Set{}, false
+	v, ok := t.digVal[dig]
+	return v, ok
 }
 
 // Trim drops every tuple of rounds before the cutoff, freeing the
 // history-sized sets they pin. Checkpoint compaction calls it with a
 // small margin behind the certificate round so in-flight read
-// confirmations over recent tuples keep resolving.
+// confirmations over recent tuples keep resolving. The digest indexes
+// are rebuilt from the survivors, preserving the pre-index semantics:
+// a value only counts as quorum-confirmed while tuples showing that
+// quorum are still retained.
 func (t *AckTally) Trim(before int) {
+	changed := false
 	for k := range t.senders {
 		if k.Round < before {
 			delete(t.senders, k)
 			delete(t.values, k)
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	for r := range t.byRound {
+		if r < before {
+			delete(t.byRound, r)
+			delete(t.roundMax, r)
+		}
+	}
+	t.digMax = make(map[lattice.Digest]int, len(t.senders))
+	t.digVal = make(map[lattice.Digest]lattice.Set, len(t.values))
+	for k, s := range t.senders {
+		if s.Len() > t.digMax[k.Dig] {
+			t.digMax[k.Dig] = s.Len()
+		}
+		if _, ok := t.digVal[k.Dig]; !ok {
+			t.digVal[k.Dig] = t.values[k]
 		}
 	}
 }
@@ -153,6 +196,11 @@ func (t *AckTally) Rebase(base *lattice.Base) {
 	for k, v := range t.values {
 		if nb, ok := v.Rebase(base); ok {
 			t.values[k] = nb
+		}
+	}
+	for d, v := range t.digVal {
+		if nb, ok := v.Rebase(base); ok {
+			t.digVal[d] = nb
 		}
 	}
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -27,6 +28,28 @@ type WireBenchRow struct {
 	LegacyKeyNS  float64 `json:"legacy_key_ns"`
 	DigestKeyNS  float64 `json:"digest_key_ns"`
 	KeyReduction float64 `json:"key_reduction"`
+	// Codec cost on the same full-set message: JSON envelope vs the
+	// length-prefixed binary frame (no delta framing, so pure codec
+	// cost is isolated). Binary encode appends into a reused scratch
+	// buffer, the transport's steady-state shape.
+	JSONEncodeNS float64 `json:"json_encode_ns"`
+	BinEncodeNS  float64 `json:"bin_encode_ns"`
+	JSONDecodeNS float64 `json:"json_decode_ns"`
+	BinDecodeNS  float64 `json:"bin_decode_ns"`
+	// Allocations per op for the same encode/decode pairs. Reduction
+	// factors floor the binary side at the measurement resolution
+	// (1/allocRuns): a measured zero means no allocation was observed
+	// across allocRuns calls, and the reported factor is the smallest
+	// one consistent with that observation.
+	JSONEncodeAllocs     float64 `json:"json_encode_allocs_per_op"`
+	BinEncodeAllocs      float64 `json:"bin_encode_allocs_per_op"`
+	EncodeAllocReduction float64 `json:"encode_alloc_reduction"`
+	JSONDecodeAllocs     float64 `json:"json_decode_allocs_per_op"`
+	BinDecodeAllocs      float64 `json:"bin_decode_allocs_per_op"`
+	DecodeAllocReduction float64 `json:"decode_alloc_reduction"`
+	// Binary delta stream bytes per op (the negotiated fast path:
+	// binary codec + delta framing together).
+	BinDeltaBytesPerOp float64 `json:"bin_delta_bytes_per_op"`
 	// FallbackResends counts full-set retransmissions triggered by the
 	// unknown-base nack injected mid-stream (must be >= 1: the fallback
 	// path is exercised, not just claimed).
@@ -43,6 +66,10 @@ type WireBenchReport struct {
 	Pass5x             bool    `json:"pass_5x"`
 	BestBytesReduction float64 `json:"best_bytes_reduction"`
 	BestKeyReduction   float64 `json:"best_key_reduction"`
+	// PassAllocs10x requires the binary codec to cut encode and decode
+	// allocations per op by >= 10x at every history size >= 1000.
+	PassAllocs10x      bool    `json:"pass_allocs_10x"`
+	BestAllocReduction float64 `json:"best_encode_alloc_reduction"`
 }
 
 // JSON renders the report (indented, trailing newline).
@@ -86,6 +113,35 @@ func measureNS(f func()) float64 {
 	}
 }
 
+// allocRuns is the sample size of measureAllocs and therefore its
+// resolution: a measured zero distinguishes "no allocation in
+// allocRuns calls" from nothing finer.
+const allocRuns = 128
+
+// measureAllocs returns heap allocations per call of f (GC'd and
+// averaged over a fixed run, so one-time warm-up noise washes out).
+func measureAllocs(f func()) float64 {
+	f() // warm up lazy state outside the window
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < allocRuns; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / allocRuns
+}
+
+// allocReduction floors the denominator at the resolution of
+// measureAllocs, so a zero-alloc codec reports the conservative lower
+// bound of its reduction factor instead of dividing by zero.
+func allocReduction(jsonAllocs, binAllocs float64) float64 {
+	if binAllocs < 1.0/allocRuns {
+		binAllocs = 1.0 / allocRuns
+	}
+	return jsonAllocs / binAllocs
+}
+
 // runWireConfig replays an RSM-style stream against one pre-grown
 // decided history: each operation appends one command and ships the
 // resulting Accepted_set in an ack, exactly the per-message shape that
@@ -101,6 +157,9 @@ func runWireConfig(history, ops int) (WireBenchRow, error) {
 	cur := lattice.FromItems(items...)
 
 	enc, dec := msg.NewDeltaEncoder(), msg.NewDeltaDecoder()
+	// A second codec pair runs the same stream through the negotiated
+	// fast path: binary frames + delta framing together.
+	encBin, decBin := msg.NewDeltaEncoder(), msg.NewDeltaDecoder()
 	// Warm-up: the history itself was transmitted during normal
 	// operation, establishing the shared base (not billed to any op).
 	frame, err := enc.Encode(msg.Decide{Value: cur, Round: 0})
@@ -110,8 +169,16 @@ func runWireConfig(history, ops int) (WireBenchRow, error) {
 	if _, nack, err := dec.Decode(frame); err != nil || nack != nil {
 		return row, fmt.Errorf("warm-up decode: nack=%v err=%v", nack, err)
 	}
+	bframe, err := encBin.AppendEncode(nil, msg.Decide{Value: cur, Round: 0}, true)
+	if err != nil {
+		return row, err
+	}
+	if _, nack, err := decBin.Decode(bframe); err != nil || nack != nil {
+		return row, fmt.Errorf("binary warm-up decode: nack=%v err=%v", nack, err)
+	}
 
-	var fullBytes, deltaBytes int
+	var fullBytes, deltaBytes, binDeltaBytes int
+	var binScratch []byte
 	for k := 0; k < ops; k++ {
 		cur = cur.Union(lattice.Singleton(lattice.Item{Author: 9, Body: fmt.Sprintf("op-%d", k)}))
 		m := msg.Ack{Accepted: cur, TS: uint32(k), Round: 1}
@@ -150,6 +217,18 @@ func runWireConfig(history, ops int) (WireBenchRow, error) {
 		if msg.KeyOf(got) != msg.KeyOf(m) {
 			return row, fmt.Errorf("op %d: codec changed the message", k)
 		}
+		// Same op through the binary fast path, round-tripped.
+		if binScratch, err = encBin.AppendEncode(binScratch[:0], m, true); err != nil {
+			return row, err
+		}
+		binDeltaBytes += len(binScratch)
+		bgot, nack, err := decBin.Decode(binScratch)
+		if err != nil || nack != nil {
+			return row, fmt.Errorf("op %d: binary delta decode: nack=%v err=%v", k, nack, err)
+		}
+		if msg.KeyOf(bgot) != msg.KeyOf(m) {
+			return row, fmt.Errorf("op %d: binary codec changed the message", k)
+		}
 	}
 	if row.FallbackResends == 0 {
 		return row, fmt.Errorf("fallback path never exercised")
@@ -157,10 +236,69 @@ func runWireConfig(history, ops int) (WireBenchRow, error) {
 	row.FullBytesPerOp = float64(fullBytes) / float64(ops)
 	row.DeltaBytesPerOp = float64(deltaBytes) / float64(ops)
 	row.BytesReduction = row.FullBytesPerOp / row.DeltaBytesPerOp
+	row.BinDeltaBytesPerOp = float64(binDeltaBytes) / float64(ops)
 
 	row.LegacyKeyNS = measureNS(func() { keySink += len(legacyKey(cur)) })
 	row.DigestKeyNS = measureNS(func() { keySink += len(cur.Key()) })
 	row.KeyReduction = row.LegacyKeyNS / row.DigestKeyNS
+
+	// Pure codec cost over the final full-set message.
+	var mm msg.Msg = msg.Ack{Accepted: cur, TS: uint32(ops), Round: 1}
+	full, err := msg.Encode(mm)
+	if err != nil {
+		return row, err
+	}
+	bin, err := msg.EncodeBinary(mm)
+	if err != nil {
+		return row, err
+	}
+	scratch := make([]byte, 0, len(bin)+64)
+	row.JSONEncodeNS = measureNS(func() {
+		out, err := msg.Encode(mm)
+		if err != nil {
+			panic(err)
+		}
+		keySink += len(out)
+	})
+	row.BinEncodeNS = measureNS(func() {
+		out, err := msg.AppendBinary(scratch[:0], mm)
+		if err != nil {
+			panic(err)
+		}
+		keySink += len(out)
+	})
+	row.JSONDecodeNS = measureNS(func() {
+		got, err := msg.Decode(full)
+		if err != nil {
+			panic(err)
+		}
+		_ = got
+	})
+	row.BinDecodeNS = measureNS(func() {
+		got, err := msg.DecodeBinary(bin)
+		if err != nil {
+			panic(err)
+		}
+		_ = got
+	})
+	row.JSONEncodeAllocs = measureAllocs(func() {
+		out, _ := msg.Encode(mm)
+		keySink += len(out)
+	})
+	row.BinEncodeAllocs = measureAllocs(func() {
+		out, _ := msg.AppendBinary(scratch[:0], mm)
+		keySink += len(out)
+	})
+	row.JSONDecodeAllocs = measureAllocs(func() {
+		got, _ := msg.Decode(full)
+		_ = got
+	})
+	row.BinDecodeAllocs = measureAllocs(func() {
+		got, _ := msg.DecodeBinary(bin)
+		_ = got
+	})
+	row.EncodeAllocReduction = allocReduction(row.JSONEncodeAllocs, row.BinEncodeAllocs)
+	row.DecodeAllocReduction = allocReduction(row.JSONDecodeAllocs, row.BinDecodeAllocs)
 	return row, nil
 }
 
@@ -175,8 +313,9 @@ func WireDeltaReport(quick bool) (*WireBenchReport, error) {
 		ops = 32
 	}
 	rep := &WireBenchReport{
-		Experiment: "digest + delta wire codec vs full-set transmission",
-		Pass5x:     true,
+		Experiment:    "digest + delta wire codec vs full-set transmission",
+		Pass5x:        true,
+		PassAllocs10x: true,
 	}
 	for _, h := range histories {
 		row, err := runWireConfig(h, ops)
@@ -186,11 +325,17 @@ func WireDeltaReport(quick bool) (*WireBenchReport, error) {
 		if h >= 1000 && (row.BytesReduction < 5 || row.KeyReduction < 5) {
 			rep.Pass5x = false
 		}
+		if h >= 1000 && (row.EncodeAllocReduction < 10 || row.DecodeAllocReduction < 10) {
+			rep.PassAllocs10x = false
+		}
 		if row.BytesReduction > rep.BestBytesReduction {
 			rep.BestBytesReduction = row.BytesReduction
 		}
 		if row.KeyReduction > rep.BestKeyReduction {
 			rep.BestKeyReduction = row.KeyReduction
+		}
+		if row.EncodeAllocReduction > rep.BestAllocReduction {
+			rep.BestAllocReduction = row.EncodeAllocReduction
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -202,17 +347,24 @@ func (r *WireBenchReport) Table() *Table {
 	t := &Table{
 		ID:      "E16",
 		Title:   "digest + delta wire codec — per-op cost vs decided history",
-		Columns: []string{"history", "ops", "full B/op", "delta B/op", "bytes x", "legacy key ns", "digest key ns", "key x", "fallbacks"},
-		Pass:    r.Pass5x,
+		Columns: []string{"history", "ops", "full B/op", "delta B/op", "bin delta B/op", "bytes x", "key x", "enc ns json/bin", "dec ns json/bin", "enc allocs json/bin", "dec allocs json/bin", "alloc x enc/dec", "fallbacks"},
+		Pass:    r.Pass5x && r.PassAllocs10x,
 	}
 	for _, row := range r.Rows {
 		t.AddRow(row.History, row.Ops, row.FullBytesPerOp, row.DeltaBytesPerOp,
-			row.BytesReduction, row.LegacyKeyNS, row.DigestKeyNS, row.KeyReduction,
+			row.BinDeltaBytesPerOp, row.BytesReduction, row.KeyReduction,
+			fmt.Sprintf("%.0f/%.0f", row.JSONEncodeNS, row.BinEncodeNS),
+			fmt.Sprintf("%.0f/%.0f", row.JSONDecodeNS, row.BinDecodeNS),
+			fmt.Sprintf("%.1f/%.1f", row.JSONEncodeAllocs, row.BinEncodeAllocs),
+			fmt.Sprintf("%.0f/%.1f", row.JSONDecodeAllocs, row.BinDecodeAllocs),
+			fmt.Sprintf("%.0f/%.0f", row.EncodeAllocReduction, row.DecodeAllocReduction),
 			row.FallbackResends)
 	}
-	t.Note("each op appends one command and ships Accepted_set; full = seed JSON envelope, delta = digest-based frames")
+	t.Note("each op appends one command and ships Accepted_set; full = seed JSON envelope, delta = digest-based frames, bin delta = binary codec + delta framing")
 	t.Note("one receiver state loss is injected per stream: fallbacks counts the resulting full-set retransmissions")
-	t.Note("pass requires >= 5x reduction in bytes/op and key cost at history >= 1000")
+	t.Note("enc/dec ns and allocs measured on the final full-set message; binary encode appends into reused scratch")
+	t.Note("alloc x floors the binary side at measurement resolution (1/128 per op): zero-alloc encode reports a conservative lower bound")
+	t.Note("pass requires >= 5x reduction in bytes/op and key cost, and >= 10x fewer encode and decode allocs, at history >= 1000")
 	return t
 }
 

@@ -1,0 +1,153 @@
+package faultnet
+
+import (
+	"fmt"
+	"testing"
+
+	"bgla/internal/byz"
+	"bgla/internal/check"
+	"bgla/internal/core/gwts"
+	"bgla/internal/ident"
+	"bgla/internal/lattice"
+	"bgla/internal/msg"
+)
+
+// codecLink carries one ordered link's traffic through a real wire
+// codec pair: the sender's delta encoder and the receiver's decoder,
+// exactly as tcpnet would run them.
+type codecLink struct {
+	enc *msg.DeltaEncoder
+	dec *msg.DeltaDecoder
+	bin bool
+}
+
+// mixedTranscoder is a faultnet Transcode hook modeling a mixed-codec
+// cluster: one process pinned to plain JSON (as a PlainCodec tcpnet
+// node would be after hello negotiation) while every other link speaks
+// binary delta frames.
+type mixedTranscoder struct {
+	t          *testing.T
+	jsonPinned ident.ProcessID
+	links      map[[2]ident.ProcessID]*codecLink
+	binFrames  int
+	jsonFrames int
+}
+
+func newMixedTranscoder(t *testing.T, jsonPinned ident.ProcessID) *mixedTranscoder {
+	return &mixedTranscoder{t: t, jsonPinned: jsonPinned, links: make(map[[2]ident.ProcessID]*codecLink)}
+}
+
+func (mt *mixedTranscoder) transcode(from, to ident.ProcessID, m msg.Msg) msg.Msg {
+	key := [2]ident.ProcessID{from, to}
+	l := mt.links[key]
+	if l == nil {
+		l = &codecLink{
+			enc: msg.NewDeltaEncoder(),
+			dec: msg.NewDeltaDecoder(),
+			// Negotiation is pairwise: any link touching the pinned
+			// process falls back to JSON, all others go binary.
+			bin: from != mt.jsonPinned && to != mt.jsonPinned,
+		}
+		mt.links[key] = l
+	}
+	var frame []byte
+	var err error
+	if l.bin {
+		frame, err = l.enc.AppendEncode(nil, m, true)
+	} else {
+		frame, err = msg.Encode(m)
+	}
+	if err != nil {
+		mt.t.Errorf("%v->%v: encode %T: %v", from, to, m, err)
+		return m
+	}
+	if l.bin {
+		mt.binFrames++
+	} else {
+		mt.jsonFrames++
+	}
+	out, nack, err := l.dec.Decode(frame)
+	if err != nil {
+		mt.t.Errorf("%v->%v: decode %T: %v", from, to, m, err)
+		return m
+	}
+	if nack != nil {
+		// Encoder and decoder run in lockstep on an in-memory link, so
+		// an unknown-base nack means the codec pair lost sync.
+		mt.t.Errorf("%v->%v: unexpected delta nack for %T", from, to, m)
+		return m
+	}
+	return out
+}
+
+// driveMixed runs one active-Byzantine GWTS scenario (3 correct
+// replicas + an RBC equivocator, reordering and duplication faults)
+// with an optional wire-codec shim, and returns the delivery trace.
+func driveMixed(t *testing.T, seed int64, tc func(ident.ProcessID, ident.ProcessID, msg.Msg) msg.Msg) (*Trace, []*gwts.Machine) {
+	t.Helper()
+	machines, reps := cluster(t, 4, 1, 3)
+	machines = append(machines, &byz.Equivocator{
+		Self:  3,
+		Tag:   "gwts/disc/0",
+		SideA: []ident.ProcessID{0},
+		SideB: []ident.ProcessID{1, 2},
+		ValA:  lattice.FromStrings(3, "split-A"),
+		ValB:  lattice.FromStrings(3, "split-B"),
+	})
+	sched := &Schedule{Ops: []Op{
+		NewReorder(0, 300, 3),
+		NewDup(50, 200, 2),
+	}}
+	tr := &Trace{}
+	net := New(machines, Options{Seed: seed, MaxDelay: 3, Schedule: sched, Trace: tr, Transcode: tc})
+	net.Start()
+	for k := 0; k < 6; k++ {
+		cmd := lattice.Item{Author: testClient, Body: fmt.Sprintf("mix-%03d", k)}
+		net.Inject(testClient, ident.ProcessID(k%2), msg.NewValue{Cmd: cmd})
+		net.Quiesce()
+	}
+	net.Quiesce()
+	net.Stop()
+	return tr, reps
+}
+
+// TestMixedCodecClusterByteStable pins the tentpole interop claim: a
+// cluster where one replica is stuck on the JSON codec while the rest
+// speak binary must behave *identically* to an uncoded in-memory run —
+// same seed, same fault schedule, byte-identical delivery trace — and
+// still satisfy GLA with an active equivocator in the mix. Any
+// semantic divergence between the codecs (lost fields, re-ordered set
+// items, digest drift) would surface as a trace diff or a GLA
+// violation here.
+func TestMixedCodecClusterByteStable(t *testing.T) {
+	const seed = 31
+	base, repsBase := driveMixed(t, seed, nil)
+
+	mt := newMixedTranscoder(t, 0)
+	mixed, repsMixed := driveMixed(t, seed, mt.transcode)
+
+	if d := Diff(base, mixed); d != "" {
+		t.Fatalf("mixed-codec run diverged from in-memory run: %s", d)
+	}
+	if mt.binFrames == 0 || mt.jsonFrames == 0 {
+		t.Fatalf("codec mix not exercised: %d binary, %d json frames", mt.binFrames, mt.jsonFrames)
+	}
+	for _, reps := range [][]*gwts.Machine{repsBase, repsMixed} {
+		run := &check.GLARun{
+			DecisionSeqs: map[ident.ProcessID][]lattice.Set{},
+			Inputs:       map[ident.ProcessID]lattice.Set{},
+		}
+		for _, m := range reps {
+			run.DecisionSeqs[m.ID()] = m.Decisions()
+			run.Inputs[m.ID()] = m.Inputs()
+		}
+		if v := run.All(1); len(v) != 0 {
+			t.Fatalf("GLA violations under codec mix: %v", v)
+		}
+		for _, m := range reps {
+			if m.Decided().Len() < 6 {
+				t.Fatalf("replica %v decided %d/6 values", m.ID(), m.Decided().Len())
+			}
+		}
+	}
+}

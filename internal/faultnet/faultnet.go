@@ -85,6 +85,16 @@ type Options struct {
 	// Trace, when non-nil, records every delivery for byte-identical
 	// replay comparison.
 	Trace *Trace
+	// Transcode, when non-nil, is applied to every cross-process
+	// delivery immediately before it reaches the receiving machine —
+	// the hook point for pushing deliveries through real wire codecs
+	// (encode at the sender, decode at the receiver) so codec mixes
+	// are exercised under full fault schedules. It runs on the
+	// dispatcher goroutine, so per-link codec state needs no locking.
+	// Returning nil drops the delivery, as a transport would drop a
+	// malformed frame; the delivery is traced either way, so a
+	// codec-induced drop shows up as a trace divergence.
+	Transcode func(from, to ident.ProcessID, m msg.Msg) msg.Msg
 }
 
 // item is one queued delivery. cls separates machine-emitted traffic
@@ -498,7 +508,14 @@ func (n *Net) deliver(it *item) {
 	if tr := n.opts.Trace; tr != nil {
 		tr.record(step, now, it.from, it.to, it.m)
 	}
-	outs := m.Handle(it.from, it.m)
+	dm := it.m
+	if tc := n.opts.Transcode; tc != nil && it.from != it.to {
+		if dm = tc(it.from, it.to, dm); dm == nil {
+			n.mu.Lock()
+			return
+		}
+	}
+	outs := m.Handle(it.from, dm)
 	proto.DrainEvents(m)
 	n.mu.Lock()
 	n.emit(it.to, outs)

@@ -59,10 +59,24 @@ type Set struct {
 // the underlying items.
 type Base struct {
 	set Set // flat: set.base == nil
+
+	// Chain record: when the base was frozen from a set that was itself
+	// anchored, prev is the digest of that older anchor and delta the
+	// (sorted) window beyond it, so set = prev-anchor ∪ delta. Rebase
+	// uses it to re-anchor sibling sets sharing the old anchor with a
+	// linear merge over two windows instead of an O(history) pass.
+	prev  *Digest
+	delta []Item
 }
 
 // NewBase freezes s (flattened) as a shareable prefix.
-func NewBase(s Set) *Base { return &Base{set: s.Flatten()} }
+func NewBase(s Set) *Base {
+	if s.base != nil {
+		pd := s.base.set.dig
+		return &Base{set: s.Flatten(), prev: &pd, delta: s.items}
+	}
+	return &Base{set: s.Flatten()}
+}
 
 // Set returns the prefix as a flat Set (zero Set for a nil base).
 func (b *Base) Set() Set {
@@ -350,10 +364,10 @@ func (s Set) SubsetOf(t Set) bool {
 		return s.dig == t.dig // equal-size subset ⇔ equality: O(1)
 	}
 	if sameBase(s, t) {
-		return subsetSorted(s.items, t.items)
+		return subsetOfSorted(s.items, t.items)
 	}
 	if s.base == nil && t.base == nil {
-		return subsetSorted(s.items, t.items)
+		return subsetOfSorted(s.items, t.items)
 	}
 	// Mixed representations. A small flat side (the common shape:
 	// "is this fresh client value already in the anchored set?") is
@@ -387,6 +401,51 @@ func (s Set) SubsetOf(t Set) bool {
 		}
 	}
 	return true
+}
+
+// subsetOfSorted reports a ⊆ b over sorted duplicate-free slices,
+// choosing between a per-item binary search (a much smaller than b: the
+// "is this delta already in the big set?" shape that runs once per
+// protocol message) and the linear merge walk (comparable sizes).
+func subsetOfSorted(a, b []Item) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	if len(a)*16 < len(b) {
+		for _, it := range a {
+			if !containsSorted(b, it) {
+				return false
+			}
+		}
+		return true
+	}
+	return subsetSorted(a, b)
+}
+
+// minusContained returns w \ d over sorted duplicate-free slices,
+// with ok=false (and no result) unless d ⊆ w.
+func minusContained(w, d []Item) ([]Item, bool) {
+	if len(d) > len(w) {
+		return nil, false
+	}
+	out := make([]Item, 0, len(w)-len(d))
+	j := 0
+	for _, it := range w {
+		if j < len(d) {
+			if !it.Less(d[j]) && !d[j].Less(it) {
+				j++
+				continue
+			}
+			if d[j].Less(it) {
+				return nil, false // d has an item missing from w
+			}
+		}
+		out = append(out, it)
+	}
+	if j != len(d) {
+		return nil, false
+	}
+	return out, true
 }
 
 // subsetSorted reports a ⊆ b over sorted duplicate-free slices.
@@ -484,6 +543,16 @@ func (s Set) Rebase(base *Base) (Set, bool) {
 	}
 	if s.base != nil && s.base.set.dig == base.set.dig {
 		return Set{items: s.items, dig: s.dig, base: base}, true
+	}
+	if s.base != nil && base.prev != nil && s.base.set.dig == *base.prev {
+		// Shared-ancestor fast path: s and the new base are both anchored
+		// on the same older prefix, and the base remembers its window
+		// beyond it. base ⊆ s iff the recorded delta is contained in s's
+		// window, checked structurally during one linear merge — no
+		// hashing, no O(history) scan.
+		if out, ok := minusContained(s.items, base.delta); ok {
+			return Set{items: out, dig: s.dig, base: base}, true
+		}
 	}
 	if s.base != nil && s.base.Len() <= base.Len() {
 		// Checkpoint-chain fast path: when the new base extends the old

@@ -2,6 +2,7 @@ package msg
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -204,30 +205,37 @@ func (e *DeltaEncoder) Reset() {
 // a cached base allows it. Messages without a primary set use the plain
 // JSON envelope.
 func (e *DeltaEncoder) Encode(m Msg) ([]byte, error) {
+	return e.AppendEncode(nil, m, false)
+}
+
+// AppendEncode appends m's frame to dst, delta-encoding its primary set
+// when a cached base allows it, using the binary codec when bin is set
+// and the JSON envelope codec otherwise. Messages without a primary set
+// travel as plain (binary or JSON) frames.
+func (e *DeltaEncoder) AppendEncode(dst []byte, m Msg, bin bool) ([]byte, error) {
 	set, ok := PrimarySet(m)
 	if !ok {
-		return Encode(m)
+		if bin {
+			return AppendBinary(dst, m)
+		}
+		raw, err := Encode(m)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, raw...), nil
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	inner, err := ToEnvelope(WithPrimarySet(m, lattice.Empty()))
-	if err != nil {
-		return nil, err
-	}
 	e.seq++
-	w := deltaFrameWire{
-		Seq:   e.seq,
-		Inner: inner,
-		Items: set,
-		Dig:   set.Digest().Hex(),
-	}
-	if base, ok := e.bestBaseLocked(set); ok {
+	seq := e.seq
+	base, haveBase := e.bestBaseLocked(set)
+	items := set
+	if haveBase {
 		// base ⊆ set was just established; Minus is the Delta items.
-		w.Base = base.Digest().Hex()
-		w.Items = lattice.FromItems(set.Minus(base)...)
+		items = lattice.FromItems(set.Minus(base)...)
 		// Only delta frames can be nacked (full frames are
 		// self-contained), so only they occupy retransmission slots.
-		e.rememberLocked(w.Seq, m)
+		e.rememberLocked(seq, m)
 		e.nDelta.Add(1)
 	} else {
 		e.nFull.Add(1)
@@ -240,11 +248,48 @@ func (e *DeltaEncoder) Encode(m Msg) ([]byte, error) {
 		// unlike ring anchors the pin survives unrelated transmissions.
 		e.pinned = set
 	}
+	stripped := WithPrimarySet(m, lattice.Empty())
+	if bin {
+		dst = append(dst, BinMagic, binDeltaFrame)
+		dst = appendUvarint(dst, seq)
+		var err error
+		dst, err = AppendBinary(dst, stripped)
+		if err != nil {
+			return nil, err
+		}
+		if haveBase {
+			bd := base.Digest()
+			dst = append(dst, 1)
+			dst = append(dst, bd[:]...)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendSet(dst, items)
+		sd := set.Digest()
+		return append(dst, sd[:]...), nil
+	}
+	inner, err := ToEnvelope(stripped)
+	if err != nil {
+		return nil, err
+	}
+	w := deltaFrameWire{
+		Seq:   seq,
+		Inner: inner,
+		Items: items,
+		Dig:   set.Digest().Hex(),
+	}
+	if haveBase {
+		w.Base = base.Digest().Hex()
+	}
 	body, err := json.Marshal(w)
 	if err != nil {
 		return nil, fmt.Errorf("msg: delta frame of %s: %w", m.Kind(), err)
 	}
-	return json.Marshal(Envelope{K: KindDeltaFrame, B: body})
+	raw, err := json.Marshal(Envelope{K: KindDeltaFrame, B: body})
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, raw...), nil
 }
 
 // Frames reports how many primary-set frames were delta-encoded vs
@@ -344,6 +389,9 @@ func (d *DeltaDecoder) Reset() {
 // caller must transmit the nack back to the sender, which replies with
 // a full-set retransmission of the same frame.
 func (d *DeltaDecoder) Decode(data []byte) (Msg, *DeltaNack, error) {
+	if IsBinaryFrame(data) {
+		return d.decodeBinary(data)
+	}
 	var env Envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, nil, fmt.Errorf("msg: envelope: %w", err)
@@ -384,6 +432,63 @@ func (d *DeltaDecoder) Decode(data []byte) (Msg, *DeltaNack, error) {
 			// Divergent reconstruction: ask for the full set rather than
 			// deliver a value the sender did not mean.
 			return nil, &DeltaNack{Seq: w.Seq}, nil
+		}
+	}
+	d.remember(set)
+	return WithPrimarySet(inner, set), nil, nil
+}
+
+// decodeBinary handles binary frames: plain ones decode directly, delta
+// frames reconstruct the primary set from the cached base with the same
+// nack-on-unknown-base protocol as the JSON path.
+func (d *DeltaDecoder) decodeBinary(data []byte) (Msg, *DeltaNack, error) {
+	if len(data) < 2 || data[1] != binDeltaFrame {
+		m, err := DecodeBinary(data)
+		return m, nil, err
+	}
+	r := &binReader{b: data, off: 2}
+	seq := r.uvarint("delta frame seq")
+	inner := r.msg()
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if _, ok := PrimarySet(inner); !ok {
+		return nil, nil, fmt.Errorf("msg: delta frame around %s, which carries no set", inner.Kind())
+	}
+	if r.rem() < 1 {
+		return nil, nil, errors.New("msg: binary delta frame: missing base flag")
+	}
+	flag := r.b[r.off]
+	r.off++
+	var baseDig lattice.Digest
+	switch flag {
+	case 0:
+	case 1:
+		baseDig = r.digest("delta base")
+	default:
+		return nil, nil, fmt.Errorf("msg: binary delta frame: base flag %d", flag)
+	}
+	items := r.set("delta items")
+	want := r.digest("delta dig")
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, nil, fmt.Errorf("msg: binary delta frame: %d trailing bytes", len(data)-r.off)
+	}
+	set := items
+	if flag == 1 {
+		d.mu.Lock()
+		base, ok := d.cache[baseDig]
+		d.mu.Unlock()
+		if !ok {
+			return nil, &DeltaNack{Seq: seq}, nil
+		}
+		set = lattice.ApplyDelta(base, items.Items())
+		if set.Digest() != want {
+			// Divergent reconstruction: ask for the full set rather than
+			// deliver a value the sender did not mean.
+			return nil, &DeltaNack{Seq: seq}, nil
 		}
 	}
 	d.remember(set)

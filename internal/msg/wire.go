@@ -3,8 +3,10 @@ package msg
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"bgla/internal/ident"
+	"bgla/internal/lattice"
 )
 
 // Envelope is the wire framing: a kind discriminator plus the JSON body
@@ -219,26 +221,56 @@ func KeyOf(m Msg) string {
 func PayloadKey(m Msg) string {
 	switch v := m.(type) {
 	case Disclosure:
-		return fmt.Sprintf("dc|%d|%s", v.Round, v.Value.Key())
+		return string(appendKey3(make([]byte, 0, 48), "dc|", int64(v.Round), -1, -1, v.Value))
 	case AckReq:
-		return fmt.Sprintf("aq|%d|%d|%s", v.TS, v.Round, v.Proposed.Key())
+		return string(appendKey3(make([]byte, 0, 48), "aq|", int64(v.TS), int64(v.Round), -1, v.Proposed))
 	case Ack:
-		return fmt.Sprintf("ak|%d|%d|%s", v.TS, v.Round, v.Accepted.Key())
+		return string(appendKey3(make([]byte, 0, 48), "ak|", int64(v.TS), int64(v.Round), -1, v.Accepted))
 	case Nack:
-		return fmt.Sprintf("nk|%d|%d|%s", v.TS, v.Round, v.Accepted.Key())
+		return string(appendKey3(make([]byte, 0, 48), "nk|", int64(v.TS), int64(v.Round), -1, v.Accepted))
 	case AckB:
-		return fmt.Sprintf("ab|%d|%d|%d|%s", v.Dest, v.TS, v.Round, v.Accepted.Key())
+		return string(appendKey3(make([]byte, 0, 64), "ab|", int64(v.Dest), int64(v.TS), int64(v.Round), v.Accepted))
 	case Decide:
-		return fmt.Sprintf("de|%d|%s", v.Round, v.Value.Key())
+		return string(appendKey3(make([]byte, 0, 48), "de|", int64(v.Round), -1, -1, v.Value))
 	case CnfReq:
 		return "cq|" + v.Value.Key()
 	case CnfRep:
 		return "cp|" + v.Value.Key()
 	case NewValue:
-		return fmt.Sprintf("nv|%d|%d|%s", v.Cmd.Author, len(v.Cmd.Body), v.Cmd.Body)
+		b := append(make([]byte, 0, 32+len(v.Cmd.Body)), "nv|"...)
+		b = strconv.AppendInt(b, int64(v.Cmd.Author), 10)
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(len(v.Cmd.Body)), 10)
+		b = append(b, '|')
+		b = append(b, v.Cmd.Body...)
+		return string(b)
 	case ShardMsg:
-		return fmt.Sprintf("sh|%d|%s", v.Shard, PayloadKey(v.Inner))
+		b := append(make([]byte, 0, 64), "sh|"...)
+		b = strconv.AppendInt(b, int64(v.Shard), 10)
+		b = append(b, '|')
+		b = append(b, PayloadKey(v.Inner)...)
+		return string(b)
 	default:
 		return KeyOf(m)
 	}
+}
+
+// appendKey3 builds "<prefix><a>|[<b>|[<c>|]]<digest-bytes>" with the
+// numeric fields present while >= 0, mirroring the former Sprintf
+// formats without their per-call reflection and temporaries — payload
+// keys are computed for every RBC echo/ready, so this is warm.
+func appendKey3(b []byte, prefix string, a, bb, c int64, s lattice.Set) []byte {
+	b = append(b, prefix...)
+	b = strconv.AppendInt(b, a, 10)
+	b = append(b, '|')
+	if bb >= 0 {
+		b = strconv.AppendInt(b, bb, 10)
+		b = append(b, '|')
+	}
+	if c >= 0 {
+		b = strconv.AppendInt(b, c, 10)
+		b = append(b, '|')
+	}
+	d := s.Digest()
+	return append(b, d[:]...)
 }

@@ -1,0 +1,172 @@
+package sig
+
+import (
+	"fmt"
+	"testing"
+
+	"bgla/internal/ident"
+)
+
+// batchKeychain counts batched calls so dispatch is observable.
+type batchKeychain struct {
+	Keychain
+	batches int
+}
+
+func (b *batchKeychain) VerifyBatch(reqs []Request) []bool {
+	b.batches++
+	out := make([]bool, len(reqs))
+	for i, r := range reqs {
+		out[i] = b.Keychain.Verify(r.Signer, r.Data, r.Sig)
+	}
+	return out
+}
+
+func mkReqs(kc Keychain, n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		p := ident.ProcessID(i % 3)
+		data := []byte(fmt.Sprintf("payload-%03d", i))
+		reqs[i] = Request{Signer: p, Data: data, Sig: kc.SignerFor(p).Sign(data)}
+	}
+	return reqs
+}
+
+// TestVerifyBatchFallback: keychains without a batched implementation
+// get the one-at-a-time fallback with identical verdicts.
+func TestVerifyBatchFallback(t *testing.T) {
+	kc := NewEd25519(3, 5)
+	reqs := mkReqs(kc, 6)
+	reqs[2].Sig = []byte("forged")
+	got := VerifyBatch(kc, reqs)
+	for i, ok := range got {
+		if want := i != 2; ok != want {
+			t.Fatalf("req %d: verdict %v, want %v", i, ok, want)
+		}
+	}
+}
+
+// TestVerifyBatchDispatch: a keychain implementing BatchVerifier is
+// called once for the whole batch.
+func TestVerifyBatchDispatch(t *testing.T) {
+	bk := &batchKeychain{Keychain: NewSim(3, 5)}
+	reqs := mkReqs(bk.Keychain, 4)
+	VerifyBatch(bk, reqs)
+	if bk.batches != 1 {
+		t.Fatalf("batched keychain called %d times, want 1", bk.batches)
+	}
+}
+
+// TestCacheVerify: repeated triples are answered from the cache —
+// including forgeries, so replayed junk is as cheap as replayed truth.
+func TestCacheVerify(t *testing.T) {
+	c := NewCache(NewEd25519(2, 7), 64)
+	data := []byte("hello")
+	good := c.SignerFor(0).Sign(data)
+	for i := 0; i < 3; i++ {
+		if !c.Verify(0, data, good) {
+			t.Fatal("valid signature rejected")
+		}
+		if c.Verify(0, data, []byte("forged-but-cached-anyway-0000000000000000000000000000000")) {
+			t.Fatal("forged signature accepted")
+		}
+		if c.Verify(1, data, good) {
+			t.Fatal("cross-signer signature accepted")
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 3 {
+		t.Fatalf("misses = %d, want 3 (one per distinct triple)", misses)
+	}
+	if hits != 6 {
+		t.Fatalf("hits = %d, want 6", hits)
+	}
+}
+
+// TestCacheVerifyBatchIsolation: a forged signature inside a batch
+// yields false at its own index and leaves every valid request around
+// it intact — the poisoned-batch failure mode must not exist.
+func TestCacheVerifyBatchIsolation(t *testing.T) {
+	c := NewCache(NewEd25519(3, 9), 256)
+	reqs := mkReqs(c, 9)
+	reqs[4].Sig = []byte("forged-signature-0000000000000000000000000000000000000000000000")
+	got := c.VerifyBatch(reqs)
+	for i, ok := range got {
+		if want := i != 4; ok != want {
+			t.Fatalf("req %d: verdict %v, want %v", i, ok, want)
+		}
+	}
+	// Second delivery of the same batch: all answered from cache.
+	_, missesBefore := c.Stats()
+	got2 := c.VerifyBatch(reqs)
+	for i := range got2 {
+		if got2[i] != got[i] {
+			t.Fatalf("req %d verdict changed on re-delivery", i)
+		}
+	}
+	if _, misses := c.Stats(); misses != missesBefore {
+		t.Fatalf("re-delivered batch re-verified: misses %d -> %d", missesBefore, misses)
+	}
+}
+
+// TestCacheBatchIntraDup: identical triples within one batch verify
+// once and share the verdict.
+func TestCacheBatchIntraDup(t *testing.T) {
+	c := NewCache(NewSim(2, 3), 64)
+	data := []byte("dup")
+	s := c.SignerFor(1).Sign(data)
+	reqs := []Request{
+		{Signer: 1, Data: data, Sig: s},
+		{Signer: 1, Data: data, Sig: s},
+		{Signer: 1, Data: data, Sig: s},
+	}
+	got := c.VerifyBatch(reqs)
+	for i, ok := range got {
+		if !ok {
+			t.Fatalf("dup %d rejected", i)
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Fatalf("intra-batch duplicates verified %d times, want 1", misses)
+	}
+}
+
+// TestCacheGenerationSweep: the table stays bounded and correct across
+// generation turnover.
+func TestCacheGenerationSweep(t *testing.T) {
+	c := NewCache(NewSim(1, 1), 8)
+	signer := c.SignerFor(0)
+	for i := 0; i < 100; i++ {
+		data := []byte(fmt.Sprintf("m%d", i))
+		if !c.Verify(0, data, signer.Sign(data)) {
+			t.Fatalf("message %d rejected after sweep", i)
+		}
+	}
+	c.mu.Lock()
+	young, old := len(c.young), len(c.old)
+	c.mu.Unlock()
+	if young > 8 || old > 8 {
+		t.Fatalf("generation bound violated: young=%d old=%d", young, old)
+	}
+}
+
+// TestNewCacheIdempotent: wrapping a *Cache returns it unchanged.
+func TestNewCacheIdempotent(t *testing.T) {
+	c := NewCache(NewSim(1, 1), 16)
+	if NewCache(c, 99) != c {
+		t.Fatal("double wrap created a second cache layer")
+	}
+}
+
+// TestCacheUncacheableSigLen: oversized signatures bypass the cache
+// but still verify through the inner keychain.
+func TestCacheUncacheableSigLen(t *testing.T) {
+	c := NewCache(NewSim(1, 4), 16)
+	long := make([]byte, maxCachedSigLen+1)
+	if c.Verify(0, []byte("x"), long) {
+		t.Fatal("oversized junk signature accepted")
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("uncacheable request touched the stats: %d/%d", hits, misses)
+	}
+}

@@ -6,9 +6,13 @@
 //
 // Frames carrying history-sized lattice sets use the delta codec of
 // internal/msg (per-peer digest-addressed base caches, DeltaNack-driven
-// full-set fallback); everything else travels as plain JSON envelopes,
-// which also remain the interop fallback (PlainCodec disables delta
-// framing entirely).
+// full-set fallback). The frame payload codec is negotiated per
+// connection at hello time: both sides binary-capable → the
+// length-prefixed binary codec (DESIGN.md §10); otherwise plain JSON
+// envelopes, which remain the interop fallback (PlainCodec pins a node
+// to JSON on both its outgoing frames and its hello acks). Receivers
+// decode per frame by sniffing the first byte, so mixed-codec meshes
+// are safe by construction.
 package tcpnet
 
 import (
@@ -35,11 +39,24 @@ const maxFrame = 16 << 20
 // helloMagic is the domain separator of the handshake signature.
 const helloMagic = "bgla/tcp-hello|%d|%d"
 
-// hello is the first frame on every outgoing connection.
+// hello is the first frame on every outgoing connection. Bin advertises
+// that the dialer can emit binary frames; it is not part of the signed
+// preimage (helloMagic predates it), so codec choice cannot be used to
+// forge identity — a stripped or flipped Bin bit at worst downgrades
+// the connection to JSON, which is always safe to speak.
 type hello struct {
 	From ident.ProcessID `json:"from"`
 	To   ident.ProcessID `json:"to"`
 	Sig  []byte          `json:"sig"`
+	Bin  bool            `json:"bin,omitempty"`
+}
+
+// helloAck is the receiver's reply to an authenticated hello. Bin set
+// means the receiver accepts binary frames on this connection; the
+// dialer treats a missing, unparsable or negative ack as "JSON only",
+// so nodes predating the ack (or pinned to PlainCodec) interoperate.
+type helloAck struct {
+	Bin bool `json:"bin"`
 }
 
 // Config configures one TCP node.
@@ -58,11 +75,14 @@ type Config struct {
 	DialRetry time.Duration
 	// EventBuffer sizes the event channel (default 4096).
 	EventBuffer int
-	// PlainCodec disables delta framing on the send side: every
-	// outgoing message travels as a plain JSON envelope. Receiving
-	// stays codec-aware either way, so a PlainCodec node still decodes
-	// delta frames from delta-enabled peers; for a wire with no delta
-	// frames at all (pre-delta interop), every node must set it.
+	// PlainCodec disables delta framing AND the binary codec on the
+	// send side: every outgoing message travels as a plain JSON
+	// envelope, and the node's hello acks refuse binary, so peers fall
+	// back to JSON toward it too. Receiving stays codec-aware either
+	// way (frames self-describe via their first byte), so a PlainCodec
+	// node still decodes binary and delta frames from faster peers; for
+	// a wire with no such frames at all (pre-binary interop), every
+	// node must set it.
 	PlainCodec bool
 	// Registry, when non-nil, exposes the node's wire-health counters
 	// per peer: delta nacks issued, full-set resends served, and the
@@ -97,10 +117,28 @@ type Node struct {
 	deltaNacksSent atomic.Int64
 	deltaResends   atomic.Int64
 
+	// binPeer records, per peer, whether the current outgoing
+	// connection negotiated the binary codec (hello/helloAck).
+	binMu   sync.Mutex
+	binPeer map[ident.ProcessID]bool
+
 	// Per-peer registry counters (satellite views of the atomics above,
 	// labeled {self, peer}).
 	wireNacks   map[ident.ProcessID]*obs.Counter
 	wireResends map[ident.ProcessID]*obs.Counter
+	wireBytesTx map[ident.ProcessID]*obs.Counter
+	wireBytesRx map[ident.ProcessID]*obs.Counter
+}
+
+// frameBufPool recycles [4-byte length header | payload] scratch
+// buffers for the per-peer write path: each sendLoop checks one out for
+// the life of its goroutine, so steady-state sends do zero frame
+// allocations regardless of how many nodes share the process.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 4, 4096)
+		return &b
+	},
 }
 
 type inboundMsg struct {
@@ -182,8 +220,11 @@ func NewNode(cfg Config) (*Node, error) {
 		enc:         make(map[ident.ProcessID]*msg.DeltaEncoder, len(cfg.Peers)),
 		dec:         make(map[ident.ProcessID]*msg.DeltaDecoder),
 		conns:       make(map[net.Conn]struct{}),
+		binPeer:     make(map[ident.ProcessID]bool, len(cfg.Peers)),
 		wireNacks:   make(map[ident.ProcessID]*obs.Counter, len(cfg.Peers)),
 		wireResends: make(map[ident.ProcessID]*obs.Counter, len(cfg.Peers)),
+		wireBytesTx: make(map[ident.ProcessID]*obs.Counter, len(cfg.Peers)),
+		wireBytesRx: make(map[ident.ProcessID]*obs.Counter, len(cfg.Peers)),
 	}
 	n.cond = sync.NewCond(&n.mu)
 	self := cfg.Self.String()
@@ -194,6 +235,8 @@ func NewNode(cfg Config) (*Node, error) {
 		peer := p.String()
 		n.wireNacks[p] = reg.Counter("bgla_wire_delta_nacks_total", "self", self, "peer", peer)
 		n.wireResends[p] = reg.Counter("bgla_wire_delta_resends_total", "self", self, "peer", peer)
+		n.wireBytesTx[p] = reg.Counter("bgla_wire_bytes_total", "self", self, "peer", peer, "dir", "tx")
+		n.wireBytesRx[p] = reg.Counter("bgla_wire_bytes_total", "self", self, "peer", peer, "dir", "rx")
 		reg.CounterFunc("bgla_wire_delta_frames_total", func() uint64 {
 			d, _ := enc.Frames()
 			return uint64(d)
@@ -235,6 +278,21 @@ func (n *Node) Events() <-chan proto.Event { return n.events }
 
 // RejectedHellos counts failed handshake attempts (diagnostics).
 func (n *Node) RejectedHellos() int64 { return n.rejectedHellos.Load() }
+
+// BinaryNegotiated reports whether the current outgoing connection to
+// peer agreed on the binary codec (false before the first dial, after a
+// drop, or when either side is pinned to PlainCodec).
+func (n *Node) BinaryNegotiated(peer ident.ProcessID) bool {
+	n.binMu.Lock()
+	defer n.binMu.Unlock()
+	return n.binPeer[peer]
+}
+
+func (n *Node) setBinary(peer ident.ProcessID, bin bool) {
+	n.binMu.Lock()
+	n.binPeer[peer] = bin
+	n.binMu.Unlock()
+}
 
 // Start launches the accept loop, the per-peer senders and the machine
 // driver; it returns immediately.
@@ -382,16 +440,22 @@ func (n *Node) sendTo(to ident.ProcessID, m msg.Msg) {
 func (n *Node) sendLoop(peer ident.ProcessID) {
 	defer n.wg.Done()
 	var conn net.Conn
+	bin := false
 	drop := func() {
 		if conn != nil {
 			n.untrack(conn)
 			_ = conn.Close()
 			conn = nil
+			bin = false
+			n.setBinary(peer, false)
 		}
 	}
 	defer drop()
 	q := n.sendQ[peer]
 	enc := n.enc[peer]
+	bytesTx := n.wireBytesTx[peer]
+	scratchp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(scratchp)
 	var pending msg.Msg
 	for {
 		m := pending
@@ -404,7 +468,7 @@ func (n *Node) sendLoop(peer ident.ProcessID) {
 		}
 		pending = m
 		if conn == nil {
-			c, err := n.dialPeer(peer)
+			c, b, err := n.dialPeer(peer)
 			if err != nil {
 				if n.stopped.Load() {
 					return
@@ -412,52 +476,79 @@ func (n *Node) sendLoop(peer ident.ProcessID) {
 				time.Sleep(n.cfg.DialRetry)
 				continue
 			}
-			conn = c
+			conn, bin = c, b
+			n.setBinary(peer, bin)
 			enc.Reset()
 		}
-		var frame []byte
+		// Encode into the pooled scratch after a 4-byte header hole, so
+		// header+payload go out in one write with zero per-frame allocs.
+		buf := (*scratchp)[:4]
 		var err error
 		if n.cfg.PlainCodec {
+			var frame []byte
 			frame, err = msg.Encode(m)
+			buf = append(buf, frame...)
 		} else {
-			frame, err = enc.Encode(m)
+			buf, err = enc.AppendEncode(buf, m, bin)
 		}
 		if err != nil {
 			pending = nil // unmarshalable message: drop it
 			continue
 		}
-		if err := writeFrame(conn, frame); err != nil {
+		binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+		if cap(buf) > cap(*scratchp) {
+			*scratchp = buf[:4]
+		}
+		if _, err := conn.Write(buf); err != nil {
 			if n.stopped.Load() {
 				return
 			}
 			drop()
 			continue // retry same message on a fresh connection
 		}
+		if bytesTx != nil {
+			bytesTx.Add(uint64(len(buf)))
+		}
 		pending = nil
 	}
 }
 
-func (n *Node) dialPeer(peer ident.ProcessID) (net.Conn, error) {
+// dialPeer connects, proves identity, and negotiates the frame codec:
+// the hello advertises binary capability and the receiver's helloAck
+// confirms it. Any ack problem — timeout, parse failure, refusal —
+// degrades to JSON rather than failing the connection.
+func (n *Node) dialPeer(peer ident.ProcessID) (net.Conn, bool, error) {
 	addr := n.cfg.Peers[peer]
 	conn, err := net.DialTimeout("tcp", addr, time.Second)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if !n.track(conn) {
-		return nil, errors.New("tcpnet: node stopped")
+		return nil, false, errors.New("tcpnet: node stopped")
 	}
-	h := hello{From: n.cfg.Self, To: peer}
+	h := hello{From: n.cfg.Self, To: peer, Bin: !n.cfg.PlainCodec}
 	h.Sig = n.cfg.Keychain.SignerFor(n.cfg.Self).Sign(helloBytes(n.cfg.Self, peer))
 	raw, err := json.Marshal(h)
 	if err != nil {
 		_ = conn.Close()
-		return nil, err
+		return nil, false, err
 	}
 	if err := writeFrame(conn, raw); err != nil {
 		_ = conn.Close()
-		return nil, err
+		return nil, false, err
 	}
-	return conn, nil
+	bin := false
+	if !n.cfg.PlainCodec {
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if raw, err := readFrame(conn); err == nil {
+			var ack helloAck
+			if json.Unmarshal(raw, &ack) == nil {
+				bin = ack.Bin
+			}
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+	}
+	return conn, bin, nil
 }
 
 func helloBytes(from, to ident.ProcessID) []byte {
@@ -498,11 +589,22 @@ func (n *Node) readLoop(conn net.Conn) {
 		n.rejectedHellos.Add(1)
 		return
 	}
+	// Acknowledge the authenticated hello with our codec capability;
+	// dialers that predate the ack simply never read it.
+	if ack, err := json.Marshal(helloAck{Bin: !n.cfg.PlainCodec}); err == nil {
+		if err := writeFrame(conn, ack); err != nil {
+			return
+		}
+	}
+	bytesRx := n.wireBytesRx[h.From]
 	dec := n.decoderFor(h.From)
 	for {
 		frame, err := readFrame(conn)
 		if err != nil {
 			return
+		}
+		if bytesRx != nil {
+			bytesRx.Add(uint64(len(frame) + 4))
 		}
 		m, nack, err := dec.Decode(frame)
 		if nack != nil {

@@ -303,6 +303,108 @@ func TestDeltaFallbackOverTCP(t *testing.T) {
 	}
 }
 
+// TestMixedCodecCluster runs a full WTS agreement with replica 0
+// pinned to PlainCodec (JSON) while the rest negotiate the binary
+// codec: hello/helloAck must fall back pairwise (every link touching
+// p0 speaks JSON, every other link binary), traffic counters must
+// move, and the cluster must still decide compatibly.
+func TestMixedCodecCluster(t *testing.T) {
+	n, f := 4, 1
+	kc := sig.NewEd25519(n, 9)
+	listeners := make([]net.Listener, n)
+	addrs := make(map[ident.ProcessID]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[ident.ProcessID(i)] = l.Addr().String()
+	}
+	nodes := make([]*Node, n)
+	machines := make([]*wts.Machine, n)
+	for i := 0; i < n; i++ {
+		self := ident.ProcessID(i)
+		m, err := wts.New(wts.Config{Self: self, N: n, F: f, Proposal: lattice.FromStrings(self, "v")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = m
+		peers := make(map[ident.ProcessID]string)
+		for p, a := range addrs {
+			if p != self {
+				peers[p] = a
+			}
+		}
+		node, err := NewNode(Config{
+			Self: self, Listener: listeners[i], Peers: peers,
+			Keychain: kc, Machine: m,
+			PlainCodec: i == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	for _, node := range nodes {
+		node.Start()
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.Stop()
+		}
+	})
+
+	deadline := time.After(20 * time.Second)
+	for i, node := range nodes {
+		for decided := false; !decided; {
+			select {
+			case e := <-node.Events():
+				if _, ok := e.(proto.DecideEvent); ok {
+					decided = true
+				}
+			case <-deadline:
+				t.Fatalf("node %d did not decide in time", i)
+			}
+		}
+	}
+	for i := range machines {
+		di, ok := machines[i].Decision()
+		if !ok {
+			t.Fatalf("p%d undecided after events", i)
+		}
+		for j := i + 1; j < len(machines); j++ {
+			dj, _ := machines[j].Decision()
+			if !di.Comparable(dj) {
+				t.Fatalf("incomparable mixed-codec decisions p%d/p%d", i, j)
+			}
+		}
+	}
+
+	// Negotiation matrix: p0's outgoing links are all JSON (it is
+	// pinned), links toward p0 are JSON (it refuses in its ack), and
+	// binary-capable pairs all landed on binary.
+	for i, node := range nodes {
+		for j := range nodes {
+			if i == j {
+				continue
+			}
+			peer := ident.ProcessID(j)
+			wantBin := i != 0 && j != 0
+			waitFor(t, fmt.Sprintf("p%d->p%d codec negotiation", i, j), func() bool {
+				return node.BinaryNegotiated(peer) == wantBin
+			})
+		}
+	}
+	// The byte counters saw real traffic in both directions.
+	if tx := nodes[1].wireBytesTx[2].Value(); tx == 0 {
+		t.Fatal("no bytes counted on a binary link")
+	}
+	if rx := nodes[0].wireBytesRx[1].Value(); rx == 0 {
+		t.Fatal("no bytes counted toward the JSON-pinned node")
+	}
+}
+
 // TestPlainCodecInterop pins the fallback encoding: a PlainCodec node
 // never emits delta frames yet interoperates with a delta-enabled peer.
 func TestPlainCodecInterop(t *testing.T) {
