@@ -1,0 +1,209 @@
+package bgla
+
+// Full-stack autoscaler scenario (ISSUE 10 satellite): the real
+// internal/autoscale controller polling a live 2-shard Store's registry
+// series while the store runs on the deterministic faultnet harness
+// with one mute Byzantine replica per shard and two scripted partition
+// windows cutting a *correct* replica. During each window the affected
+// shards cannot reach their write quorum (one correct replica mute, one
+// partitioned), so sequential updates stall in virtual time until the
+// heal — exactly the latency signal the controller's windowed p99
+// watches. The controller is evaluated only at quiesced points, so its
+// inputs (and therefore its decisions and trace) are deterministic:
+// the whole run must replay byte-identically, decisions must stay
+// within [Min, Max], and consecutive decisions must never be closer
+// than the cooldown.
+//
+// The controller only *decides* here — executing a resize mid-run is
+// the bench harness's drain-and-restart job (internal/exp, E20);
+// Applied() feeds the decision back so the law keeps operating on the
+// ordered shard count.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bgla/internal/autoscale"
+	"bgla/internal/faultnet"
+	"bgla/internal/obs"
+	"bgla/internal/proto"
+)
+
+// autoscaleScenarioRun is everything one run produces that must be
+// reproducible: the decision list, the autoscale trace bytes, and the
+// network delivery trace.
+type autoscaleScenarioRun struct {
+	decisions []autoscale.Decision
+	atrace    []byte
+	net       *faultnet.Trace
+}
+
+const (
+	asWin1From uint64 = 300
+	asWin1Heal uint64 = 2500
+	asWin2From uint64 = 2600
+	asWin2Heal uint64 = 6000
+	asCooldown uint64 = 200
+)
+
+func runAutoscaleScenario(t *testing.T, seed int64) autoscaleScenarioRun {
+	t.Helper()
+	reg := obs.NewRegistry()
+	atr := &obs.Tracer{}
+	ftr := &faultnet.Trace{}
+	var net *faultnet.Net
+	clock := obs.ClockFunc(func() uint64 { return net.Now() })
+	st, err := NewStore(ShardedConfig{
+		Shards: 2,
+		// One mute Byzantine replica per shard — different processes, so
+		// each process is still correct for the other shard.
+		ShardMutes: [][]int{{3}, {2}},
+		ServiceConfig: ServiceConfig{
+			Replicas: 4, Faulty: 1, Seed: seed,
+			Obs: ObsConfig{Registry: reg, Clock: clock},
+			Hooks: &ServiceHooks{
+				InlineShards: true,
+				NewTransport: func(machines []proto.Machine, opts TransportOptions) Transport {
+					net = faultnet.New(machines, faultnet.Options{
+						Seed: seed, MaxDelay: 3, Trace: ftr,
+						// Two windows cutting correct replica 1: with the
+						// shard mute that leaves 2 of the 3 needed correct
+						// replicas, so updates stall until the heal.
+						Schedule: &faultnet.Schedule{Ops: []faultnet.Op{
+							faultnet.NewPartition(asWin1From, asWin1Heal, 1),
+							faultnet.NewPartition(asWin2From, asWin2Heal, 1),
+						}},
+					})
+					return net
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ctl := autoscale.New(autoscale.Config{
+		Registry: reg, Clock: clock, Trace: atr,
+		Min: 1, Max: 4, Initial: 2,
+		UpP99:      1_000, // virtual ticks; healthy ops decide in tens
+		DownP99:    500,
+		Hysteresis: 2,
+		Cooldown:   asCooldown,
+	})
+	var decisions []autoscale.Decision
+	tick := func() {
+		if d, ok := ctl.Tick(); ok {
+			decisions = append(decisions, d)
+			ctl.Applied(d.To)
+		}
+	}
+
+	stamp := uint64(0)
+	update := func() {
+		stamp++
+		if err := st.Update(PutCmd(fmt.Sprintf("as-%02d", stamp%8), stamp, "v")); err != nil {
+			t.Fatalf("seed %d: update %d: %v", seed, stamp, err)
+		}
+		net.Quiesce()
+	}
+
+	// Baseline the controller at launch, then pad with healthy traffic
+	// up to the first partition window.
+	net.Quiesce()
+	tick()
+	for net.Now() < asWin1From {
+		update()
+	}
+	// First stalled update: its messages to replica 1 are held until
+	// the heal, so it decides ~asWin1Heal ticks after launch. One
+	// breach window -> streak 1, no decision yet (hysteresis 2).
+	update()
+	tick()
+	// Pad across the gap; the update whose messages land in window 2
+	// stalls until its heal. Second breach window -> scale-up fires.
+	for net.Now() < asWin2Heal {
+		update()
+	}
+	tick()
+	// Recovery: healthy traffic only. The idle windows build the down
+	// streak, the cooldown spaces the decisions out.
+	for i := 0; i < 12; i++ {
+		update()
+		tick()
+	}
+
+	return autoscaleScenarioRun{decisions: decisions, atrace: bytes.Clone(atr.Bytes()), net: ftr}
+}
+
+// TestAutoscaleFaultnetScenario runs the scenario twice: sane decisions
+// (bounds, cooldown spacing, up under partitions then down after
+// recovery) and byte-identical replay.
+func TestAutoscaleFaultnetScenario(t *testing.T) {
+	seed := int64(11)
+	if *seedFlag != 0 {
+		seed = *seedFlag
+	}
+	a := runAutoscaleScenario(t, seed)
+
+	if len(a.decisions) == 0 {
+		t.Fatalf("seed %d: no autoscale decisions; replay: go test -run TestAutoscaleFaultnetScenario -seed=%d", seed, seed)
+	}
+	var ups, downs int
+	for _, d := range a.decisions {
+		if d.To < 1 || d.To > 4 {
+			t.Fatalf("seed %d: decision out of bounds: %+v", seed, d)
+		}
+		switch d.Dir {
+		case autoscale.Up:
+			ups++
+			if d.P99 < 1_000 {
+				t.Fatalf("seed %d: up decision without a breaching p99: %+v", seed, d)
+			}
+		case autoscale.Down:
+			downs++
+		default:
+			t.Fatalf("seed %d: unknown direction: %+v", seed, d)
+		}
+	}
+	if ups == 0 {
+		t.Fatalf("seed %d: partitions never drove a scale-up: %+v", seed, a.decisions)
+	}
+	if downs == 0 {
+		t.Fatalf("seed %d: recovery never drove a scale-down: %+v", seed, a.decisions)
+	}
+	// Never flap past the cooldown: consecutive decisions are spaced by
+	// at least the configured minimum in virtual time.
+	for i := 1; i < len(a.decisions); i++ {
+		if gap := a.decisions[i].At - a.decisions[i-1].At; gap < asCooldown {
+			t.Fatalf("seed %d: decisions %d ticks apart, cooldown %d:\n%+v", seed, gap, asCooldown, a.decisions)
+		}
+	}
+	// The first decision must be the partition-driven up, and it must
+	// come from the store's real shard count.
+	if first := a.decisions[0]; first.Dir != autoscale.Up || first.From != 2 || first.To != 4 {
+		t.Fatalf("seed %d: first decision not the 2->4 scale-up: %+v", seed, first)
+	}
+
+	// Byte-identical replay, mirroring TestConsensusTraceByteStable:
+	// same seed reproduces the decision list, the autoscale trace, and
+	// the full network delivery trace.
+	b := runAutoscaleScenario(t, seed)
+	if !reflect.DeepEqual(a.decisions, b.decisions) {
+		t.Fatalf("seed %d: decisions diverged across replays:\n%+v\nvs\n%+v", seed, a.decisions, b.decisions)
+	}
+	if !bytes.Equal(a.atrace, b.atrace) {
+		t.Fatalf("seed %d: autoscale trace diverged:\n%s\nvs\n%s", seed, a.atrace, b.atrace)
+	}
+	if d := faultnet.Diff(a.net, b.net); d != "" {
+		t.Fatalf("seed %d: delivery trace diverged: %s", seed, d)
+	}
+	if a.net.Lines() == 0 {
+		t.Fatal("empty delivery trace")
+	}
+	t.Logf("seed %d: %d decisions (%d up, %d down), %d deliveries, trace %s",
+		seed, len(a.decisions), ups, downs, a.net.Lines(), a.net.Fingerprint())
+}

@@ -5,15 +5,19 @@
 // defense ablations, the live batched-vs-unbatched throughput benchmark
 // (E15), the digest/delta wire-codec benchmark (E16), the sharded
 // multi-lattice throughput benchmark (E17), the checkpointed
-// history-compaction benchmark (E18) and the durable-WAL benchmark
-// (E19). The structured E15-E19 reports are written to
+// history-compaction benchmark (E18), the durable-WAL benchmark (E19)
+// and the open-loop workload engine + elastic shard autoscaler
+// benchmark (E20). The structured E15-E20 reports are written to
 // BENCH_batch.json, BENCH_wire.json, BENCH_shard.json,
-// BENCH_compact.json and BENCH_wal.json so the performance trajectory
-// is tracked across PRs.
+// BENCH_compact.json, BENCH_wal.json and BENCH_workload.json so the
+// performance trajectory is tracked across PRs. -metricsout
+// additionally dumps the E20 demo registry in the Prometheus text
+// exposition format (what a live /metrics endpoint serves), including
+// the bgla_autoscale_* decision-stream families.
 //
 // Usage:
 //
-//	bglabench [-quick] [-only E4,E8] [-batchout BENCH_batch.json] [-wireout BENCH_wire.json] [-shardout BENCH_shard.json] [-compactout BENCH_compact.json] [-walout BENCH_wal.json]
+//	bglabench [-quick] [-only E4,E8] [-batchout BENCH_batch.json] [-wireout BENCH_wire.json] [-shardout BENCH_shard.json] [-compactout BENCH_compact.json] [-walout BENCH_wal.json] [-workloadout BENCH_workload.json] [-metricsout metrics.prom]
 package main
 
 import (
@@ -33,6 +37,8 @@ func main() {
 	shardOut := flag.String("shardout", "BENCH_shard.json", "path for the E17 sharded-store report (empty disables)")
 	compactOut := flag.String("compactout", "BENCH_compact.json", "path for the E18 compaction report (empty disables)")
 	walOut := flag.String("walout", "BENCH_wal.json", "path for the E19 durable-WAL report (empty disables)")
+	workloadOut := flag.String("workloadout", "BENCH_workload.json", "path for the E20 workload/autoscaler report (empty disables)")
+	metricsOut := flag.String("metricsout", "", "dump the E20 demo registry in Prometheus text format to this path")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -143,6 +149,33 @@ func main() {
 					last := rep.Recovery[len(rep.Recovery)-1]
 					fmt.Printf("wrote %s (%d fsync policies; cold recovery at history %d: %.1f ms, %d items from disk)\n",
 						*walOut, len(rep.Policies), last.History, last.RecoverMS, last.RecoveredItems)
+				}
+			}
+		}
+	}
+	if selected("E20") {
+		rep, err := exp.WorkloadReport(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bglabench: E20: %v\n", err)
+			failed++
+		} else {
+			show(rep.Table())
+			if *workloadOut != "" {
+				if err := os.WriteFile(*workloadOut, rep.JSON(), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "bglabench: writing %s: %v\n", *workloadOut, err)
+					failed++
+				} else {
+					fmt.Printf("wrote %s (%d rows; autoscaler resized: %v, %d -> %d shards, %d resize(s))\n",
+						*workloadOut, len(rep.Rows), rep.Autoscale.Resized,
+						rep.Autoscale.StartShards, rep.Autoscale.FinalShards, len(rep.Autoscale.Resizes))
+				}
+			}
+			if *metricsOut != "" {
+				if err := os.WriteFile(*metricsOut, rep.WriteMetrics(), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "bglabench: writing %s: %v\n", *metricsOut, err)
+					failed++
+				} else {
+					fmt.Printf("wrote %s (Prometheus exposition dump of the E20 demo registry)\n", *metricsOut)
 				}
 			}
 		}

@@ -1,8 +1,9 @@
 // Command perfgate is the performance-regression gate run by CI: it
-// re-runs the E16 wire-codec and E17 sharded-store benchmarks at the
-// full (non-quick) parameter shapes and compares them against the
-// committed BENCH_wire.json and BENCH_shard.json baselines. The gate
-// fails (non-zero exit) when
+// re-runs the E16 wire-codec, E17 sharded-store and E20 open-loop
+// workload benchmarks at the full (non-quick) parameter shapes and
+// compares them against the committed BENCH_wire.json,
+// BENCH_shard.json and BENCH_workload.json baselines. The gate fails
+// (non-zero exit) when
 //
 //   - a deterministic bytes/op metric grows by more than the
 //     tolerance (default 20%),
@@ -10,14 +11,14 @@
 //   - a pass flag that is true in the committed baseline flips false.
 //
 // Baseline rows are matched by workload shape (history+ops for E16,
-// shards+clients+ops/client for E17). A shape mismatch means the
-// committed baseline predates a workload change and must be
-// regenerated with cmd/bglabench — that too is a failure, never a
-// silent skip.
+// shards+clients+ops/client for E17, arrival shape+shards for E20). A
+// shape mismatch means the committed baseline predates a workload
+// change and must be regenerated with cmd/bglabench — that too is a
+// failure, never a silent skip.
 //
 // Usage:
 //
-//	perfgate [-wire BENCH_wire.json] [-shard BENCH_shard.json] [-tol 0.20]
+//	perfgate [-wire BENCH_wire.json] [-shard BENCH_shard.json] [-workload BENCH_workload.json] [-tol 0.20]
 package main
 
 import (
@@ -119,9 +120,44 @@ func gateShard(path string, tol float64) error {
 	return nil
 }
 
+func gateWorkload(path string, tol float64) error {
+	var base exp.WorkloadBenchReport
+	if err := load(path, &base); err != nil {
+		return err
+	}
+	fresh, err := exp.WorkloadReport(false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E20 workload engine vs %s (tolerance %.0f%%)\n", path, tol*100)
+	for _, b := range base.Rows {
+		var f *exp.WorkloadBenchRow
+		for i := range fresh.Rows {
+			if fresh.Rows[i].Shape == b.Shape && fresh.Rows[i].Shards == b.Shards {
+				f = &fresh.Rows[i]
+				break
+			}
+		}
+		if f == nil {
+			return fmt.Errorf("no fresh row matches baseline shape %s S=%d — regenerate %s with cmd/bglabench", b.Shape, b.Shards, path)
+		}
+		check(fmt.Sprintf("%s S=%d completed ops/sec", b.Shape, b.Shards), b.OpsPerSec, f.OpsPerSec, f.OpsPerSec < b.OpsPerSec*(1-tol))
+	}
+	if base.Autoscale.Resized && !fresh.Autoscale.Resized {
+		fmt.Println("  FAIL autoscaler resized flipped false")
+		failed++
+	}
+	if base.Pass && !fresh.Pass {
+		fmt.Println("  FAIL pass flipped false")
+		failed++
+	}
+	return nil
+}
+
 func main() {
 	wire := flag.String("wire", "BENCH_wire.json", "committed E16 baseline (empty disables)")
 	shard := flag.String("shard", "BENCH_shard.json", "committed E17 baseline (empty disables)")
+	workload := flag.String("workload", "BENCH_workload.json", "committed E20 baseline (empty disables)")
 	tol := flag.Float64("tol", 0.20, "allowed fractional regression per metric")
 	flag.Parse()
 
@@ -134,6 +170,12 @@ func main() {
 	if *shard != "" {
 		if err := gateShard(*shard, *tol); err != nil {
 			fmt.Fprintf(os.Stderr, "perfgate: E17: %v\n", err)
+			failed++
+		}
+	}
+	if *workload != "" {
+		if err := gateWorkload(*workload, *tol); err != nil {
+			fmt.Fprintf(os.Stderr, "perfgate: E20: %v\n", err)
 			failed++
 		}
 	}

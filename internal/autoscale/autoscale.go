@@ -1,0 +1,321 @@
+// Package autoscale closes the loop from the observability layer back
+// to capacity: a poll-driven controller samples the per-shard registry
+// series the pipelines already publish (bgla_queue_depth,
+// bgla_decided_ops_total, bgla_decision_latency_ns) on a pluggable
+// obs.Clock, applies hysteresis and cooldown, and emits shard-count
+// resize decisions. The controller only decides; executing a decision
+// is the caller's job — today a drain-and-restart reconfiguration in
+// the bench harness (see internal/exp and DESIGN.md §11), the stopgap
+// until ROADMAP item 2's online resharding. Its own decision stream is
+// published as bgla_autoscale_* metrics and autoscale trace events, so
+// the scaler is observable through the same surface it observes.
+package autoscale
+
+import (
+	"fmt"
+	"strconv"
+
+	"bgla/internal/obs"
+)
+
+// Input series names (published by internal/batch per shard).
+const (
+	SeriesQueueDepth      = "bgla_queue_depth"
+	SeriesDecidedOps      = "bgla_decided_ops_total"
+	SeriesDecisionLatency = "bgla_decision_latency_ns"
+)
+
+// Direction classifies a decision.
+type Direction string
+
+const (
+	Up   Direction = "up"
+	Down Direction = "down"
+)
+
+// Decision is one emitted resize order, with the signal values that
+// justified it (for reports and traces).
+type Decision struct {
+	At     uint64 // clock reading at emission
+	From   int    // shard count before
+	To     int    // ordered shard count
+	Dir    Direction
+	Reason string
+
+	MeanDepth float64 // mean per-shard queue depth at emission
+	P99       float64 // interval p99 decision latency (clock units)
+	Rate      float64 // per-shard decided ops/sec over the window
+}
+
+// Config tunes the control law. Zero-valued thresholds disable their
+// condition. All latency thresholds are in the clock's units (ns under
+// obs.WallClock, virtual ticks under faultnet).
+type Config struct {
+	Registry *obs.Registry // input series; also receives bgla_autoscale_*
+	Clock    obs.Clock
+	Trace    *obs.Tracer // optional decision trace (EvAutoscale events)
+
+	Min, Max int // shard-count bounds (inclusive)
+	Initial  int // current shard count
+
+	// Scale up when mean per-shard queue depth ≥ UpQueueDepth, or the
+	// windowed p99 decision latency ≥ UpP99.
+	UpQueueDepth float64
+	UpP99        float64
+	// Scale down when every enabled idle condition holds: mean depth ≤
+	// DownQueueDepth, windowed p99 ≤ DownP99, per-shard decided rate ≤
+	// DownRate ops/sec.
+	DownQueueDepth float64
+	DownP99        float64
+	DownRate       float64
+
+	// Hysteresis is the number of consecutive breaching evaluations
+	// required before a decision fires (≥ 1); Cooldown is the minimum
+	// clock delta between consecutive decisions.
+	Hysteresis int
+	Cooldown   uint64
+
+	// TicksPerSec converts clock deltas to seconds for rate signals
+	// (1e9 for wall clocks; faultnet tests set their tick rate).
+	TicksPerSec float64
+}
+
+// Controller holds the sampling baselines and streak state. Not safe
+// for concurrent use; drive it from one goroutine (or a virtual-time
+// quiesce loop).
+type Controller struct {
+	cfg Config
+	cur int
+
+	baselined  bool
+	lastEvalAt uint64
+	lastCounts map[int]uint64
+	lastHist   map[int]obs.HistSnapshot
+
+	lastDecisionAt uint64
+	decided        bool
+	upStreak       int
+	downStreak     int
+
+	evals     *obs.Counter
+	ups       *obs.Counter
+	downs     *obs.Counter
+	coolSkips *obs.Counter
+	holds     *obs.Counter
+}
+
+// New builds a controller and registers its bgla_autoscale_* series.
+func New(cfg Config) *Controller {
+	if cfg.Hysteresis < 1 {
+		cfg.Hysteresis = 1
+	}
+	if cfg.Min < 1 {
+		cfg.Min = 1
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.Initial < cfg.Min {
+		cfg.Initial = cfg.Min
+	}
+	if cfg.Initial > cfg.Max {
+		cfg.Initial = cfg.Max
+	}
+	if cfg.TicksPerSec <= 0 {
+		cfg.TicksPerSec = 1e9
+	}
+	c := &Controller{
+		cfg:        cfg,
+		cur:        cfg.Initial,
+		lastCounts: map[int]uint64{},
+		lastHist:   map[int]obs.HistSnapshot{},
+	}
+	r := cfg.Registry
+	c.evals = r.Counter("bgla_autoscale_evals_total")
+	c.ups = r.Counter("bgla_autoscale_decisions_total", "dir", "up")
+	c.downs = r.Counter("bgla_autoscale_decisions_total", "dir", "down")
+	c.coolSkips = r.Counter("bgla_autoscale_cooldown_skips_total")
+	c.holds = r.Counter("bgla_autoscale_hysteresis_holds_total")
+	r.GaugeFunc("bgla_autoscale_target_shards", func() int64 { return int64(c.cur) })
+	return c
+}
+
+// Shards returns the controller's view of the current shard count.
+func (c *Controller) Shards() int { return c.cur }
+
+// Tick evaluates one control window at the configured clock's current
+// reading — the polling entry point for wall-clock and virtual-time
+// loops alike.
+func (c *Controller) Tick() (Decision, bool) {
+	clk := c.cfg.Clock
+	if clk == nil {
+		clk = obs.WallClock
+	}
+	return c.Evaluate(clk.Now())
+}
+
+// Applied tells the controller a resize has been executed: the
+// current shard count becomes n and the sampling baselines are
+// rebuilt on the next Evaluate (drain-and-restart resets the
+// per-shard pipeline series, so old deltas are meaningless).
+func (c *Controller) Applied(n int) {
+	if n < c.cfg.Min {
+		n = c.cfg.Min
+	}
+	if n > c.cfg.Max {
+		n = c.cfg.Max
+	}
+	c.cur = n
+	c.baselined = false
+	c.lastCounts = map[int]uint64{}
+	c.lastHist = map[int]obs.HistSnapshot{}
+	c.upStreak, c.downStreak = 0, 0
+}
+
+// signals is one sampled control window.
+type signals struct {
+	meanDepth float64
+	p99       float64
+	rate      float64 // per-shard decided ops/sec
+}
+
+// sample reads the three input series for shards [0, cur) and updates
+// the counter/histogram baselines.
+func (c *Controller) sample(now uint64) signals {
+	var sig signals
+	var depthSum float64
+	var decidedDelta uint64
+	var latDelta obs.HistSnapshot
+	for s := 0; s < c.cur; s++ {
+		lbl := strconv.Itoa(s)
+		if d, ok := c.cfg.Registry.SampleGauge(SeriesQueueDepth, "shard", lbl); ok {
+			depthSum += float64(d)
+		}
+		if v, ok := c.cfg.Registry.SampleCounter(SeriesDecidedOps, "shard", lbl); ok {
+			if prev, seen := c.lastCounts[s]; seen && v >= prev {
+				decidedDelta += v - prev
+			} else if seen {
+				// Counter went backward: the pipeline was rebuilt under
+				// us; count only the new total.
+				decidedDelta += v
+			}
+			c.lastCounts[s] = v
+		}
+		if h, ok := c.cfg.Registry.SampleHistogram(SeriesDecisionLatency, "shard", lbl); ok {
+			latDelta.Merge(h.Delta(c.lastHist[s]))
+			c.lastHist[s] = h
+		}
+	}
+	sig.meanDepth = depthSum / float64(c.cur)
+	sig.p99 = latDelta.Quantile(0.99)
+	if dt := now - c.lastEvalAt; c.baselined && now > c.lastEvalAt {
+		secs := float64(dt) / c.cfg.TicksPerSec
+		sig.rate = float64(decidedDelta) / float64(c.cur) / secs
+	}
+	return sig
+}
+
+// Evaluate samples one control window ending at now and returns a
+// decision if the control law fires. The first call only establishes
+// baselines. The caller owns execution: apply the resize, then call
+// Applied.
+func (c *Controller) Evaluate(now uint64) (Decision, bool) {
+	c.evals.Inc()
+	sig := c.sample(now)
+	if !c.baselined {
+		c.baselined = true
+		c.lastEvalAt = now
+		return Decision{}, false
+	}
+	c.lastEvalAt = now
+
+	cfg := &c.cfg
+	overload := (cfg.UpQueueDepth > 0 && sig.meanDepth >= cfg.UpQueueDepth) ||
+		(cfg.UpP99 > 0 && sig.p99 >= cfg.UpP99)
+	idle := c.idleWindow(sig)
+
+	switch {
+	case overload:
+		c.upStreak++
+		c.downStreak = 0
+	case idle:
+		c.downStreak++
+		c.upStreak = 0
+	default:
+		c.upStreak, c.downStreak = 0, 0
+		return Decision{}, false
+	}
+
+	var dir Direction
+	var to int
+	var reason string
+	switch {
+	case c.upStreak >= cfg.Hysteresis:
+		dir, to = Up, c.cur*2
+		if to > cfg.Max {
+			to = cfg.Max
+		}
+		reason = fmt.Sprintf("overload depth=%.1f p99=%.0f", sig.meanDepth, sig.p99)
+	case c.downStreak >= cfg.Hysteresis:
+		dir, to = Down, c.cur/2
+		if to < cfg.Min {
+			to = cfg.Min
+		}
+		reason = fmt.Sprintf("idle depth=%.1f p99=%.0f rate=%.1f", sig.meanDepth, sig.p99, sig.rate)
+	default:
+		c.holds.Inc()
+		return Decision{}, false
+	}
+	if to == c.cur {
+		// Pinned at a bound: keep the streak (the pressure is real) but
+		// emit nothing.
+		return Decision{}, false
+	}
+	if c.decided && now-c.lastDecisionAt < cfg.Cooldown {
+		c.coolSkips.Inc()
+		return Decision{}, false
+	}
+
+	d := Decision{
+		At: now, From: c.cur, To: to, Dir: dir, Reason: reason,
+		MeanDepth: sig.meanDepth, P99: sig.p99, Rate: sig.rate,
+	}
+	c.decided = true
+	c.lastDecisionAt = now
+	c.upStreak, c.downStreak = 0, 0
+	if dir == Up {
+		c.ups.Inc()
+	} else {
+		c.downs.Inc()
+	}
+	c.cfg.Trace.Emit(obs.Event{
+		T: now, Kind: obs.EvAutoscale, Shard: d.From, Proc: "autoscale",
+		Round: d.To, Key: string(dir), Detail: reason,
+	})
+	return d, true
+}
+
+// idleWindow requires every enabled down-condition to hold, and at
+// least one to be enabled.
+func (c *Controller) idleWindow(sig signals) bool {
+	cfg := &c.cfg
+	enabled := false
+	if cfg.DownP99 > 0 {
+		enabled = true
+		if sig.p99 > cfg.DownP99 {
+			return false
+		}
+	}
+	if cfg.DownRate > 0 {
+		enabled = true
+		if sig.rate > cfg.DownRate {
+			return false
+		}
+	}
+	if !enabled {
+		return false
+	}
+	// DownQueueDepth may legitimately be 0 ("only when fully drained");
+	// it is always enforced once another condition enables down-scaling.
+	return sig.meanDepth <= cfg.DownQueueDepth
+}

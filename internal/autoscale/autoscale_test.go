@@ -1,0 +1,281 @@
+package autoscale
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"bgla/internal/obs"
+)
+
+// fakeCluster publishes the three input series the way internal/batch
+// does, but under direct test control.
+type fakeCluster struct {
+	reg   *obs.Registry
+	depth []int64
+}
+
+func newFakeCluster(shards int) *fakeCluster {
+	f := &fakeCluster{reg: obs.NewRegistry(), depth: make([]int64, shards)}
+	for s := 0; s < shards; s++ {
+		s := s
+		lbl := strconv.Itoa(s)
+		f.reg.GaugeFunc(SeriesQueueDepth, func() int64 { return f.depth[s] }, "shard", lbl)
+		f.reg.Counter(SeriesDecidedOps, "shard", lbl)
+		f.reg.Histogram(SeriesDecisionLatency, "shard", lbl)
+	}
+	return f
+}
+
+func (f *fakeCluster) decide(shard int, n uint64, latency uint64) {
+	lbl := strconv.Itoa(shard)
+	f.reg.Counter(SeriesDecidedOps, "shard", lbl).Add(n)
+	h := f.reg.Histogram(SeriesDecisionLatency, "shard", lbl)
+	for i := uint64(0); i < n; i++ {
+		h.Observe(latency)
+	}
+}
+
+func baseConfig(f *fakeCluster) Config {
+	return Config{
+		Registry:       f.reg,
+		Min:            1,
+		Max:            8,
+		Initial:        2,
+		UpQueueDepth:   10,
+		UpP99:          1e6, // 1ms
+		DownQueueDepth: 0,
+		DownP99:        1e4,
+		DownRate:       50,
+		Hysteresis:     2,
+		Cooldown:       100,
+		TicksPerSec:    1e9,
+	}
+}
+
+func TestScaleUpOnQueueDepth(t *testing.T) {
+	f := newFakeCluster(2)
+	c := New(baseConfig(f))
+	now := uint64(1000)
+	if _, ok := c.Evaluate(now); ok {
+		t.Fatal("baseline eval emitted a decision")
+	}
+	f.depth[0], f.depth[1] = 40, 20 // mean 30 ≥ 10
+	now += 50
+	if _, ok := c.Evaluate(now); ok {
+		t.Fatal("decision before hysteresis streak complete")
+	}
+	now += 50
+	d, ok := c.Evaluate(now)
+	if !ok || d.Dir != Up || d.From != 2 || d.To != 4 {
+		t.Fatalf("want up 2→4, got %+v ok=%v", d, ok)
+	}
+	if d.MeanDepth != 30 {
+		t.Fatalf("decision mean depth = %g, want 30", d.MeanDepth)
+	}
+}
+
+func TestScaleUpOnLatencyP99(t *testing.T) {
+	f := newFakeCluster(2)
+	cfg := baseConfig(f)
+	cfg.UpQueueDepth = 0 // latency condition only
+	c := New(cfg)
+	now := uint64(0)
+	c.Evaluate(now)
+	for i := 0; i < 2; i++ {
+		f.decide(0, 100, 5e6) // 5ms decisions, way past UpP99=1ms
+		now += 100
+		if d, ok := c.Evaluate(now); ok {
+			if i == 0 {
+				t.Fatal("fired before hysteresis")
+			}
+			if d.Dir != Up || d.To != 4 {
+				t.Fatalf("want up to 4, got %+v", d)
+			}
+			return
+		}
+	}
+	t.Fatal("latency breach never fired")
+}
+
+func TestLatencyWindowIsDelta(t *testing.T) {
+	f := newFakeCluster(2)
+	cfg := baseConfig(f)
+	cfg.UpQueueDepth = 0
+	c := New(cfg)
+	// A burst of terrible latencies BEFORE the baseline eval must not
+	// count against later windows.
+	f.decide(0, 1000, 1e9)
+	now := uint64(0)
+	c.Evaluate(now)
+	for i := 0; i < 5; i++ {
+		f.decide(0, 10, 1e3) // fresh fast decisions only
+		now += 100
+		if d, ok := c.Evaluate(now); ok && d.Dir == Up {
+			t.Fatalf("stale cumulative latency mass triggered scale-up: %+v", d)
+		}
+	}
+}
+
+func TestCooldownBlocksFlapping(t *testing.T) {
+	f := newFakeCluster(2)
+	cfg := baseConfig(f)
+	cfg.Cooldown = 1000
+	c := New(cfg)
+	now := uint64(0)
+	c.Evaluate(now)
+	f.depth[0], f.depth[1] = 100, 100
+	now += 10
+	c.Evaluate(now)
+	now += 10
+	d, ok := c.Evaluate(now)
+	if !ok || d.To != 4 {
+		t.Fatalf("first decision missing: %+v ok=%v", d, ok)
+	}
+	c.Applied(4)
+	// Keep the pressure on: breaches inside the cooldown window are
+	// counted but must not emit.
+	skipsBefore, _ := f.reg.SampleCounter("bgla_autoscale_cooldown_skips_total")
+	for i := 0; i < 6; i++ {
+		now += 10
+		if _, ok := c.Evaluate(now); ok {
+			t.Fatalf("decision %d ticks after previous, inside cooldown %d", now-d.At, cfg.Cooldown)
+		}
+	}
+	skipsAfter, _ := f.reg.SampleCounter("bgla_autoscale_cooldown_skips_total")
+	if skipsAfter <= skipsBefore {
+		t.Fatal("cooldown skips not counted")
+	}
+	// Past the cooldown the held streak finally fires.
+	now = d.At + cfg.Cooldown + 1
+	d2, ok := c.Evaluate(now)
+	if !ok || d2.From != 4 || d2.To != 8 {
+		t.Fatalf("post-cooldown decision missing: %+v ok=%v", d2, ok)
+	}
+}
+
+func TestScaleDownWhenIdle(t *testing.T) {
+	f := newFakeCluster(4)
+	cfg := baseConfig(f)
+	cfg.Initial = 4
+	c := New(cfg)
+	now := uint64(0)
+	c.Evaluate(now)
+	// Idle: zero depth, no decisions at all (rate 0 ≤ 50, p99 0 ≤ 1e4).
+	now += 1e9
+	c.Evaluate(now)
+	now += 1e9
+	d, ok := c.Evaluate(now)
+	if !ok || d.Dir != Down || d.From != 4 || d.To != 2 {
+		t.Fatalf("want down 4→2, got %+v ok=%v", d, ok)
+	}
+	// A busy window must NOT look idle: high decided rate blocks down.
+	c.Applied(2)
+	c.Evaluate(now) // rebaseline
+	for i := 0; i < 4; i++ {
+		f.decide(0, 1000, 1e3) // 1000 ops per 1s window ≫ DownRate·shards
+		now += 1e9
+		if d, ok := c.Evaluate(now); ok {
+			t.Fatalf("busy cluster scaled down: %+v", d)
+		}
+	}
+}
+
+func TestBoundsArePinned(t *testing.T) {
+	f := newFakeCluster(8)
+	cfg := baseConfig(f)
+	cfg.Initial = 8
+	c := New(cfg)
+	now := uint64(0)
+	c.Evaluate(now)
+	f.depth[0] = 1000
+	for i := 0; i < 5; i++ {
+		now += 100
+		if d, ok := c.Evaluate(now); ok {
+			t.Fatalf("scaled past Max: %+v", d)
+		}
+	}
+	if c.Shards() != 8 {
+		t.Fatalf("shards = %d, want pinned 8", c.Shards())
+	}
+}
+
+func TestHysteresisResetOnRecovery(t *testing.T) {
+	f := newFakeCluster(2)
+	c := New(baseConfig(f))
+	now := uint64(0)
+	c.Evaluate(now)
+	// One breach, then recovery, then one breach: never fires with
+	// Hysteresis=2 — streaks must not survive a healthy window.
+	for i := 0; i < 4; i++ {
+		if i%2 == 0 {
+			f.depth[0], f.depth[1] = 50, 50
+		} else {
+			f.depth[0], f.depth[1] = 1, 1
+		}
+		now += 10
+		if d, ok := c.Evaluate(now); ok {
+			t.Fatalf("alternating load fired a decision: %+v", d)
+		}
+	}
+}
+
+func TestAppliedRebasesAndClamps(t *testing.T) {
+	f := newFakeCluster(8)
+	c := New(baseConfig(f))
+	c.Applied(64)
+	if c.Shards() != 8 {
+		t.Fatalf("Applied did not clamp to Max: %d", c.Shards())
+	}
+	c.Applied(0)
+	if c.Shards() != 1 {
+		t.Fatalf("Applied did not clamp to Min: %d", c.Shards())
+	}
+	if v, ok := f.reg.SampleGauge("bgla_autoscale_target_shards"); !ok || v != 1 {
+		t.Fatalf("target gauge = %d,%v", v, ok)
+	}
+}
+
+func TestAutoscaleMetricsAndTrace(t *testing.T) {
+	f := newFakeCluster(2)
+	cfg := baseConfig(f)
+	tr := &obs.Tracer{}
+	cfg.Trace = tr
+	c := New(cfg)
+	now := uint64(0)
+	c.Evaluate(now)
+	f.depth[0], f.depth[1] = 99, 99
+	now += 10
+	c.Evaluate(now)
+	now += 10
+	if _, ok := c.Evaluate(now); !ok {
+		t.Fatal("no decision")
+	}
+	for _, fam := range []string{
+		"bgla_autoscale_evals_total",
+		"bgla_autoscale_decisions_total",
+		"bgla_autoscale_target_shards",
+		"bgla_autoscale_cooldown_skips_total",
+		"bgla_autoscale_hysteresis_holds_total",
+	} {
+		found := false
+		for _, n := range f.reg.Families() {
+			if n == fam {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry missing family %s", fam)
+		}
+	}
+	if ups, ok := f.reg.SampleCounter("bgla_autoscale_decisions_total", "dir", "up"); !ok || ups != 1 {
+		t.Fatalf("up decisions = %d,%v", ups, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("trace events = %d, want 1", tr.Len())
+	}
+	line := tr.Lines()[0]
+	if !strings.Contains(line, "autoscale") || !strings.Contains(line, "k=up") {
+		t.Fatalf("unexpected trace line %q", line)
+	}
+}

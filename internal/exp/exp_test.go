@@ -179,6 +179,60 @@ func TestE19WALDurability(t *testing.T) {
 	}
 }
 
+func TestE20Workload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-runtime experiment")
+	}
+	rep, err := WorkloadReport(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no workload rows")
+	}
+	for _, row := range rep.Rows {
+		if row.Completed == 0 {
+			t.Fatalf("row completed nothing: %+v", row)
+		}
+		if row.Offered != row.Completed+row.Shed+row.Errors {
+			t.Fatalf("accounting identity offered = completed+shed+errors broken: %+v", row)
+		}
+		if row.P99MS < row.P50MS || row.P999MS < row.P99MS {
+			t.Fatalf("percentiles not ordered: %+v", row)
+		}
+	}
+	if len(rep.JSON()) == 0 {
+		t.Fatal("empty JSON report")
+	}
+	// The demo registry must carry the autoscaler's decision stream
+	// next to the store series — exactly what /metrics would serve.
+	metrics := string(rep.WriteMetrics())
+	for _, fam := range []string{
+		"bgla_autoscale_evals_total",
+		"bgla_autoscale_target_shards",
+		"bgla_queue_depth",
+	} {
+		if !strings.Contains(metrics, fam) {
+			t.Fatalf("metrics dump missing %s:\n%s", fam, metrics)
+		}
+	}
+	if !rep.Autoscale.Resized {
+		// The Zipf hot-key burst saturates a 1-shard store by design;
+		// under the race detector scheduling noise can still starve
+		// the poll loop, so only warn there.
+		if raceEnabled {
+			t.Logf("autoscaler did not resize under race detector: %+v", rep.Autoscale)
+		} else {
+			t.Fatalf("autoscale demo never resized: %+v", rep.Autoscale)
+		}
+	}
+	for _, rz := range rep.Autoscale.Resizes {
+		if rz.To < 1 || rz.To > 8 {
+			t.Fatalf("resize out of bounds: %+v", rz)
+		}
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tbl := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}, Pass: true}
 	tbl.AddRow(1, 2.5)
@@ -205,14 +259,14 @@ func TestPluralAndItoa(t *testing.T) {
 }
 
 // TestAllAggregatesEveryExperiment exercises the cmd/bglabench entry
-// point: all nineteen tables, trimmed sweeps, every one passing.
+// point: all twenty tables, trimmed sweeps, every one passing.
 func TestAllAggregatesEveryExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("aggregate sweep")
 	}
 	tables := All(true)
-	if len(tables) != 19 {
-		t.Fatalf("All returned %d tables, want 19", len(tables))
+	if len(tables) != 20 {
+		t.Fatalf("All returned %d tables, want 20", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tbl := range tables {
@@ -221,10 +275,10 @@ func TestAllAggregatesEveryExperiment(t *testing.T) {
 		}
 		seen[tbl.ID] = true
 		if !tbl.Pass {
-			// The wall-clock gates of E15/E17/E18 are not binding under
-			// the race detector's slowdown, and E18's flatness gate is
-			// machine-load sensitive on shared quick runs.
-			if (tbl.ID == "E15" || tbl.ID == "E17" || tbl.ID == "E18") && raceEnabled {
+			// The wall-clock gates of E15/E17/E18/E20 are not binding
+			// under the race detector's slowdown, and E18's flatness
+			// gate is machine-load sensitive on shared quick runs.
+			if (tbl.ID == "E15" || tbl.ID == "E17" || tbl.ID == "E18" || tbl.ID == "E20") && raceEnabled {
 				t.Logf("%s under race detector (wall-clock gate not binding):\n%s", tbl.ID, tbl.Render())
 			} else if tbl.ID == "E18" {
 				t.Logf("E18 quick gate advisory (standalone bglabench enforces it):\n%s", tbl.Render())

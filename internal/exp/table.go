@@ -88,15 +88,16 @@ func (t *Table) Render() string {
 // sweeps for fast regression runs (tests); full sweeps feed
 // EXPERIMENTS.md.
 func All(quick bool) []*Table {
-	return append(AllBase(quick), BatchThroughput(quick), WireDelta(quick), ShardThroughput(quick), Compaction(quick), WALDurability(quick))
+	return append(AllBase(quick), BatchThroughput(quick), WireDelta(quick), ShardThroughput(quick), Compaction(quick), WALDurability(quick), WorkloadEngine(quick))
 }
 
 // AllBase returns the deterministic-simulator experiments (E1-E14);
 // the live benchmarks E15 (batching), E16 (delta wire codec), E17
-// (sharded store), E18 (checkpointed compaction) and E19 (durable
-// WAL) are separate so cmd/bglabench can capture their structured
-// reports for BENCH_batch.json, BENCH_wire.json, BENCH_shard.json,
-// BENCH_compact.json and BENCH_wal.json.
+// (sharded store), E18 (checkpointed compaction), E19 (durable WAL)
+// and E20 (open-loop workload + autoscaler) are separate so
+// cmd/bglabench can capture their structured reports for
+// BENCH_batch.json, BENCH_wire.json, BENCH_shard.json,
+// BENCH_compact.json, BENCH_wal.json and BENCH_workload.json.
 func AllBase(quick bool) []*Table {
 	return []*Table{
 		FigureChain(),

@@ -1,0 +1,453 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgla"
+	"bgla/internal/autoscale"
+	"bgla/internal/obs"
+	"bgla/internal/workload"
+)
+
+// E20 — million-user workload engine + elastic shard autoscaler.
+// Unlike E15/E17's closed-loop uniform clients, this experiment drives
+// bgla.Store with the internal/workload open-loop engine: arrivals
+// fire on their generated schedule (Poisson, bursty on/off, diurnal
+// trace) whether or not the store keeps up, keys follow a heavy Zipf
+// popularity curve, and latency is measured from intended arrival so
+// queueing delay counts (no coordinated omission). The sweep reports
+// offered-vs-completed load and p50/p99/p999 per arrival shape at
+// S ∈ {1,2,4,8}. The second half closes the loop: the
+// internal/autoscale controller polls the store's own registry series
+// under a Zipf hot-key burst and its resize decisions are executed
+// live as drain-and-restart reconfigurations — pause dispatch, drain
+// in-flight ops, Scan the consistent state, rebuild the store at the
+// new shard count on the same registry, replay the scanned items
+// (stripUnique cuts at the first NUL, so re-wrapped bodies parse and
+// route identically). That executor is the documented stopgap until
+// ROADMAP item 2's online resharding (DESIGN.md §11).
+
+// WorkloadBenchRow is one (arrival shape, shard count) measurement.
+type WorkloadBenchRow struct {
+	Shape     string  `json:"shape"`
+	Shards    int     `json:"shards"`
+	Offered   uint64  `json:"offered"`
+	Completed uint64  `json:"completed"`
+	Shed      uint64  `json:"shed"`
+	Errors    uint64  `json:"errors"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	P999MS    float64 `json:"p999_ms"`
+}
+
+// ResizeEvent is one executed drain-and-restart reconfiguration.
+type ResizeEvent struct {
+	AtMS     float64 `json:"at_ms"`
+	Dir      string  `json:"dir"`
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Replayed int     `json:"replayed_items"`
+	DrainMS  float64 `json:"drain_ms"`
+	Reason   string  `json:"reason"`
+}
+
+// DemoPhase is one phase of the autoscale demo run.
+type DemoPhase struct {
+	Phase     string  `json:"phase"`
+	Rate      float64 `json:"rate_ops_per_sec"`
+	Offered   uint64  `json:"offered"`
+	Completed uint64  `json:"completed"`
+	Shed      uint64  `json:"shed"`
+	P99MS     float64 `json:"p99_ms"`
+	ShardsEnd int     `json:"shards_at_end"`
+}
+
+// AutoscaleDemo records the closed-loop run: a gentle phase, a Zipf
+// hot-key burst that must drive a scale-up, and a recovery phase.
+type AutoscaleDemo struct {
+	StartShards int           `json:"start_shards"`
+	FinalShards int           `json:"final_shards"`
+	Phases      []DemoPhase   `json:"phases"`
+	Resizes     []ResizeEvent `json:"resizes"`
+	Resized     bool          `json:"resized"`
+}
+
+// WorkloadBenchReport aggregates E20; cmd/bglabench serializes it to
+// BENCH_workload.json.
+type WorkloadBenchReport struct {
+	Experiment string             `json:"experiment"`
+	Replicas   int                `json:"replicas"`
+	Faulty     int                `json:"faulty"`
+	RateTarget float64            `json:"offered_rate_ops_per_sec"`
+	Rows       []WorkloadBenchRow `json:"rows"`
+	Autoscale  AutoscaleDemo      `json:"autoscale"`
+	Pass       bool               `json:"pass"`
+
+	// registry backing the demo run, carrying bgla_autoscale_* next to
+	// the store series; bglabench -metricsout dumps it in the
+	// Prometheus exposition format (what /metrics serves).
+	registry *obs.Registry
+}
+
+// JSON renders the report (indented, trailing newline).
+func (r *WorkloadBenchReport) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // static struct: cannot fail
+	}
+	return append(out, '\n')
+}
+
+// WriteMetrics dumps the demo registry in the Prometheus text format
+// — byte-for-byte what the live /metrics endpoint would serve.
+func (r *WorkloadBenchReport) WriteMetrics() []byte {
+	var buf bytes.Buffer
+	if err := r.registry.WritePrometheus(&buf); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	return buf.Bytes()
+}
+
+// storeTarget adapts the current store (behind an atomic pointer, so
+// resizes swap it under live traffic) to the workload driver's seam.
+func storeTarget(ptr *atomic.Pointer[bgla.Store]) workload.Target {
+	return workload.Target{
+		Update: func(ctx context.Context, body string) error {
+			return ptr.Load().UpdateCtx(ctx, body)
+		},
+		Read: func(ctx context.Context, key string) error {
+			_, err := ptr.Load().ReadCtx(ctx, key)
+			return err
+		},
+		Scan: func(ctx context.Context) error {
+			_, err := ptr.Load().ScanCtx(ctx)
+			return err
+		},
+	}
+}
+
+// newWorkloadStore boots a store tuned for latency-sensitive open-loop
+// traffic (small min batch, short batch delay) on the given registry.
+func newWorkloadStore(shards int, reg *obs.Registry) (*bgla.Store, error) {
+	return bgla.NewStore(bgla.ShardedConfig{
+		Shards: shards,
+		ServiceConfig: bgla.ServiceConfig{
+			Replicas: 4, Faulty: 1, Seed: 1,
+			MaxBatch: 16, MinBatch: 1,
+			MaxInFlight: 4, MaxBatchDelay: 2 * time.Millisecond,
+			Obs: bgla.ObsConfig{Registry: reg},
+		},
+	})
+}
+
+// runWorkloadRow measures one (shape, shards) cell.
+func runWorkloadRow(shape string, arrival workload.Arrival, shards, ops, workers int) (WorkloadBenchRow, error) {
+	row := WorkloadBenchRow{Shape: shape, Shards: shards}
+	st, err := newWorkloadStore(shards, obs.NewRegistry())
+	if err != nil {
+		return row, err
+	}
+	defer st.Close()
+	var ptr atomic.Pointer[bgla.Store]
+	ptr.Store(st)
+	d := workload.NewDriver(workload.DriverConfig{
+		Target: storeTarget(&ptr),
+		Gen: workload.NewGenerator(workload.Config{
+			Arrival: arrival,
+			Keys:    workload.NewZipf(4096, 1.1),
+			Mix:     workload.Mix{Update: 90, Read: 9, Scan: 1},
+			Seed:    1,
+		}),
+		Ops:     ops,
+		Workers: workers,
+		Timeout: 30 * time.Second,
+	})
+	res := d.Run(context.Background())
+	if res.Completed == 0 {
+		return row, fmt.Errorf("%s S=%d: no ops completed (errors=%d shed=%d)", shape, shards, res.Errors, res.Shed)
+	}
+	lat := res.LatencyAll()
+	row.Offered = res.Offered
+	row.Completed = res.Completed
+	row.Shed = res.Shed
+	row.Errors = res.Errors
+	row.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
+	row.OpsPerSec = float64(res.Completed) / res.Elapsed.Seconds()
+	row.P50MS = lat.Quantile(0.5) / 1e6
+	row.P99MS = lat.Quantile(0.99) / 1e6
+	row.P999MS = lat.Quantile(0.999) / 1e6
+	return row, nil
+}
+
+// resizeStore executes one drain-and-restart reconfiguration: with the
+// driver paused and drained, Scan the consistent cross-shard state,
+// close the old store, boot a new one at the target shard count on the
+// SAME registry (pull views re-register, counters continue), and
+// replay every item through the public Update path. Replay is safe
+// because command parsing strips everything from the first NUL byte:
+// the replayed body's stacked uniqueness suffixes fold to the same
+// CRDT command, and routing (which also strips) keeps key colocation.
+func resizeStore(ptr *atomic.Pointer[bgla.Store], reg *obs.Registry, to int) (replayed int, err error) {
+	old := ptr.Load()
+	items, err := old.Scan()
+	if err != nil {
+		return 0, fmt.Errorf("pre-resize scan: %w", err)
+	}
+	old.Close()
+	next, err := newWorkloadStore(to, reg)
+	if err != nil {
+		return 0, fmt.Errorf("rebuild at S=%d: %w", to, err)
+	}
+	// Replay through a worker pool: sequential Updates would serialize
+	// one consensus round per item.
+	sem := make(chan struct{}, 32)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, it := range items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(body string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := next.Update(body); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(it.Body)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		next.Close()
+		return 0, fmt.Errorf("replaying %d items: %w", len(items), firstErr)
+	}
+	ptr.Store(next)
+	return len(items), nil
+}
+
+// demoPhaseSpec is one phase of the autoscale demo.
+type demoPhaseSpec struct {
+	name    string
+	arrival workload.Arrival
+	keys    workload.KeyGen
+	rate    float64
+	ops     int
+}
+
+// runAutoscaleDemo runs the three-phase closed-loop demonstration.
+func runAutoscaleDemo(quick bool) (AutoscaleDemo, *obs.Registry, error) {
+	demo := AutoscaleDemo{StartShards: 1}
+	reg := obs.NewRegistry()
+	st, err := newWorkloadStore(demo.StartShards, reg)
+	if err != nil {
+		return demo, reg, err
+	}
+	var ptr atomic.Pointer[bgla.Store]
+	ptr.Store(st)
+	defer func() { ptr.Load().Close() }()
+
+	ctl := autoscale.New(autoscale.Config{
+		Registry: reg,
+		Clock:    obs.WallClock,
+		Min:      1, Max: 8,
+		UpQueueDepth:   8,
+		UpP99:          0, // queue depth is the decisive signal here
+		DownQueueDepth: 1,
+		DownP99:        5e6, // 5ms
+		DownRate:       100,
+		Hysteresis:     2,
+		Cooldown:       300_000_000, // 300ms
+	})
+
+	scale := 1
+	if quick || raceEnabled {
+		scale = 2
+	}
+	burstOps, gentleOps, coolOps := 8000/scale, 1200/scale, 400/scale
+	phases := []demoPhaseSpec{
+		// Gentle warm-up: comfortably inside single-shard capacity.
+		{"gentle", workload.Poisson{Rate: 800}, workload.NewZipf(4096, 1.0), 800, gentleOps},
+		// Hot-key burst: a flash crowd hammering a tiny key set far past
+		// one shard's group-commit capacity — queue depth must breach
+		// and the controller must scale up.
+		{"zipf-burst", workload.Poisson{Rate: 20_000}, workload.NewZipf(64, 1.3), 20_000, burstOps},
+		// Recovery: near-idle traffic; the controller may scale back
+		// down (recorded, not gated — the run may end first).
+		{"recovery", workload.Poisson{Rate: 400}, workload.NewZipf(4096, 1.0), 400, coolOps},
+	}
+
+	start := time.Now()
+	for _, ph := range phases {
+		d := workload.NewDriver(workload.DriverConfig{
+			Target: storeTarget(&ptr),
+			Gen: workload.NewGenerator(workload.Config{
+				Arrival: ph.arrival, Keys: ph.keys, Seed: 1,
+			}),
+			Ops:     ph.ops,
+			Workers: 128,
+			Timeout: 30 * time.Second,
+		})
+		done := make(chan workload.Result, 1)
+		go func() { done <- d.Run(context.Background()) }()
+
+		var res workload.Result
+		running := true
+		for running {
+			select {
+			case res = <-done:
+				running = false
+			case <-time.After(25 * time.Millisecond):
+				dec, ok := ctl.Tick()
+				if !ok {
+					continue
+				}
+				resume := d.Pause()
+				drainStart := time.Now()
+				for d.InFlight() > 0 && time.Since(drainStart) < 10*time.Second {
+					time.Sleep(time.Millisecond)
+				}
+				replayed, rerr := resizeStore(&ptr, reg, dec.To)
+				if rerr != nil {
+					resume()
+					return demo, reg, rerr
+				}
+				ctl.Applied(dec.To)
+				resume()
+				demo.Resizes = append(demo.Resizes, ResizeEvent{
+					AtMS:     float64(time.Since(start)) / float64(time.Millisecond),
+					Dir:      string(dec.Dir),
+					From:     dec.From,
+					To:       dec.To,
+					Replayed: replayed,
+					DrainMS:  float64(time.Since(drainStart)) / float64(time.Millisecond),
+					Reason:   dec.Reason,
+				})
+				if dec.Dir == autoscale.Up {
+					demo.Resized = true
+				}
+			}
+		}
+		lat := res.LatencyAll()
+		demo.Phases = append(demo.Phases, DemoPhase{
+			Phase:     ph.name,
+			Rate:      ph.rate,
+			Offered:   res.Offered,
+			Completed: res.Completed,
+			Shed:      res.Shed,
+			P99MS:     lat.Quantile(0.99) / 1e6,
+			ShardsEnd: ctl.Shards(),
+		})
+	}
+	demo.FinalShards = ctl.Shards()
+	return demo, reg, nil
+}
+
+// WorkloadReport (E20) runs the open-loop sweep and the closed-loop
+// autoscale demo.
+func WorkloadReport(quick bool) (*WorkloadBenchReport, error) {
+	rep := &WorkloadBenchReport{
+		Experiment: "open-loop workload engine + metrics-driven elastic shard autoscaler",
+		Replicas:   4, Faulty: 1,
+	}
+	shardCounts := []int{1, 2, 4, 8}
+	rate, ops, workers := 6000.0, 4000, 64
+	if quick {
+		ops = 1500
+	}
+	if raceEnabled {
+		// The race detector's slowdown turns the sweep into pure
+		// scheduler noise at full size; a micro sweep still exercises
+		// the whole open-loop path end to end.
+		shardCounts = []int{1, 2}
+		rate, ops, workers = 2000, 300, 32
+	}
+	rep.RateTarget = rate
+
+	shapes := []struct {
+		name string
+		mk   func() workload.Arrival
+	}{
+		{"poisson", func() workload.Arrival { return workload.Poisson{Rate: rate} }},
+		{"bursty", func() workload.Arrival {
+			return &workload.Bursty{BaseRate: rate / 4, BurstRate: rate * 3, OnDur: 0.05, OffDur: 0.1}
+		}},
+		{"diurnal", func() workload.Arrival {
+			return &workload.Diurnal{Trace: []float64{rate / 3, rate, rate * 1.5, rate / 2}, Slot: 0.1}
+		}},
+	}
+	if raceEnabled {
+		shapes = shapes[:1]
+	}
+	for _, sh := range shapes {
+		for _, s := range shardCounts {
+			row, err := runWorkloadRow(sh.name, sh.mk(), s, ops, workers)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+
+	demo, reg, err := runAutoscaleDemo(quick)
+	rep.Autoscale = demo
+	rep.registry = reg
+	if err != nil {
+		return nil, err
+	}
+
+	rep.Pass = demo.Resized
+	for _, row := range rep.Rows {
+		if row.Completed == 0 || row.P999MS < row.P50MS {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// Table renders the report as the E20 experiment table.
+func (r *WorkloadBenchReport) Table() *Table {
+	t := &Table{
+		ID:      "E20",
+		Title:   "open-loop workload engine + elastic shard autoscaler",
+		Columns: []string{"shape", "shards", "offered", "done", "shed", "ops/sec", "p50 ms", "p99 ms", "p999 ms"},
+		Pass:    r.Pass,
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Shape, row.Shards, row.Offered, row.Completed, row.Shed,
+			row.OpsPerSec, row.P50MS, row.P99MS, row.P999MS)
+	}
+	t.Note("open-loop arrivals (latency from intended arrival time; queueing counts), Zipf(s=1.1) keys over 4096, blend 90/9/1 update/read/scan")
+	for _, rz := range r.Autoscale.Resizes {
+		t.Note("autoscale %s %d->%d at %.0f ms (%d items replayed, drain %.0f ms): %s",
+			rz.Dir, rz.From, rz.To, rz.AtMS, rz.Replayed, rz.DrainMS, rz.Reason)
+	}
+	t.Note("pass requires a scale-up during the zipf-burst phase and ordered percentiles in every row (got resize: %v, final shards %d)",
+		r.Autoscale.Resized, r.Autoscale.FinalShards)
+	return t
+}
+
+// WorkloadEngine (E20) is the Table-producing wrapper used by All.
+func WorkloadEngine(quick bool) *Table {
+	rep, err := WorkloadReport(quick)
+	if err != nil {
+		t := &Table{
+			ID:      "E20",
+			Title:   "open-loop workload engine + elastic shard autoscaler",
+			Columns: []string{"error"},
+		}
+		t.AddRow(err.Error())
+		return t
+	}
+	return rep.Table()
+}

@@ -58,6 +58,27 @@ func (s *HistSnapshot) Merge(o HistSnapshot) {
 	}
 }
 
+// Delta returns the samples recorded between prev and s (both taken
+// from the same histogram, prev first). Interval quantiles — "p99 over
+// the last poll window" — come from Delta snapshots; cumulative
+// histograms would let ancient samples mask a current latency spike.
+// Counts saturate at zero so a racy pair of snapshots (buckets and sum
+// may tear under concurrent Observe) still yields a valid
+// distribution.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for i := range s.Buckets {
+		if s.Buckets[i] > prev.Buckets[i] {
+			d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+			d.Count += d.Buckets[i]
+		}
+	}
+	if s.Sum > prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	return d
+}
+
 // bucketBounds returns the [lo, hi) value range of bucket i.
 func bucketBounds(i int) (lo, hi float64) {
 	if i == 0 {

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"container/heap"
+	"strconv"
+
+	"bgla/internal/autoscale"
+	"bgla/internal/obs"
+	"bgla/internal/shard"
+	"bgla/internal/workload"
+)
+
+// The elastic simulator is a deterministic virtual-time queueing model
+// of the sharded store under an open-loop workload, with the real
+// autoscale.Controller closing the loop on the same registry series
+// the live pipelines publish. It exists so capacity experiments —
+// "how many shards does this diurnal trace need?" — run in
+// milliseconds of wall time with exact replayability, where the bench
+// harness (internal/exp E20) schedules real goroutines. Each shard is
+// a single server doing group commit: it takes up to MaxBatch queued
+// ops and finishes them RoundTicks + PerOpTicks·n later, mirroring
+// internal/batch's amortization; a resize drains in-flight batches on
+// their old shards, re-routes every queued op under the new shard
+// map, and freezes batch starts for DrainTicks — the same
+// drain-and-restart stopgap the bench harness executes for real.
+
+// ElasticConfig parameterizes a virtual-time elastic run.
+type ElasticConfig struct {
+	Workload workload.Config // arrival/keys/mix/seed (op stream)
+	Ops      int             // arrivals to generate
+
+	Shards   int // starting shard count
+	MaxBatch int // group-commit width (default 16)
+
+	// Service model, in virtual ticks (think ns): one consensus round
+	// costs RoundTicks regardless of batch size plus PerOpTicks per op.
+	RoundTicks uint64
+	PerOpTicks uint64
+
+	// EvalEvery is the controller polling period in ticks; DrainTicks
+	// is the drain-and-restart outage added when a resize is applied.
+	EvalEvery  uint64
+	DrainTicks uint64
+
+	Autoscale autoscale.Config // thresholds/bounds; Registry/Clock are overwritten
+	Trace     *obs.Tracer      // optional: receives EvAutoscale events
+}
+
+// ElasticPoint is one controller-poll observation of the trajectory.
+type ElasticPoint struct {
+	T         uint64  `json:"t"`
+	Shards    int     `json:"shards"`
+	Depth     float64 `json:"mean_depth"`
+	Completed uint64  `json:"completed"`
+}
+
+// ElasticResult is the full trajectory of one elastic run.
+type ElasticResult struct {
+	Offered   uint64               `json:"offered"`
+	Completed uint64               `json:"completed"`
+	EndTime   uint64               `json:"end_time"`
+	FinalS    int                  `json:"final_shards"`
+	P50       float64              `json:"p50_ticks"`
+	P99       float64              `json:"p99_ticks"`
+	P999      float64              `json:"p999_ticks"`
+	Decisions []autoscale.Decision `json:"decisions"`
+	Points    []ElasticPoint       `json:"points"`
+	Latency   obs.HistSnapshot     `json:"-"`
+}
+
+type elasticEventKind int
+
+const (
+	evArrive elasticEventKind = iota
+	evFinish
+	evEval
+)
+
+type elasticEvent struct {
+	at   uint64
+	seq  uint64 // insertion tie-break: equal-time events replay identically
+	kind elasticEventKind
+	op   workload.Op // evArrive
+	sh   int         // evFinish: shard index
+}
+
+type elasticHeap []elasticEvent
+
+func (h elasticHeap) Len() int { return len(h) }
+func (h elasticHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h elasticHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *elasticHeap) Push(x any)   { *h = append(*h, x.(elasticEvent)) }
+func (h *elasticHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// elasticShard is one simulated shard: a FIFO queue plus the batch
+// currently in consensus.
+type elasticShard struct {
+	queue    []workload.Op
+	inflight []workload.Op
+}
+
+// RunElastic executes the model until every arrival has completed and
+// returns the trajectory. Runs are fully deterministic: same config,
+// same result.
+func RunElastic(cfg ElasticConfig) ElasticResult {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.RoundTicks == 0 {
+		cfg.RoundTicks = 200_000 // ~0.2ms consensus round
+	}
+	if cfg.PerOpTicks == 0 {
+		cfg.PerOpTicks = 2_000
+	}
+	if cfg.EvalEvery == 0 {
+		cfg.EvalEvery = 50_000_000 // 50ms control period
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+
+	reg := obs.NewRegistry()
+	S := cfg.Shards
+	shards := map[int]*elasticShard{}
+	var now, frozenUntil uint64
+	ensure := func(s int) *elasticShard {
+		st := shards[s]
+		if st == nil {
+			st = &elasticShard{}
+			shards[s] = st
+			reg.GaugeFunc(autoscale.SeriesQueueDepth, func() int64 {
+				return int64(len(st.queue) + len(st.inflight))
+			}, "shard", strconv.Itoa(s))
+		}
+		return st
+	}
+	for s := 0; s < S; s++ {
+		ensure(s)
+	}
+
+	acfg := cfg.Autoscale
+	acfg.Registry = reg
+	acfg.Clock = obs.ClockFunc(func() uint64 { return now })
+	acfg.Trace = cfg.Trace
+	if acfg.Initial == 0 {
+		acfg.Initial = S
+	}
+	ctl := autoscale.New(acfg)
+
+	var res ElasticResult
+	var seq uint64
+	h := &elasticHeap{}
+	gen := workload.NewGenerator(cfg.Workload)
+	for i := 0; i < cfg.Ops; i++ {
+		op := gen.Next()
+		seq++
+		*h = append(*h, elasticEvent{at: op.At, seq: seq, kind: evArrive, op: op})
+	}
+	seq++
+	*h = append(*h, elasticEvent{at: cfg.EvalEvery, seq: seq, kind: evEval})
+	heap.Init(h)
+	push := func(ev elasticEvent) {
+		seq++
+		ev.seq = seq
+		heap.Push(h, ev)
+	}
+
+	startBatch := func(s int) {
+		st := ensure(s)
+		if len(st.inflight) > 0 || len(st.queue) == 0 {
+			return
+		}
+		n := len(st.queue)
+		if n > cfg.MaxBatch {
+			n = cfg.MaxBatch
+		}
+		st.inflight = st.queue[:n:n]
+		st.queue = st.queue[n:]
+		start := now
+		if start < frozenUntil {
+			start = frozenUntil
+		}
+		push(elasticEvent{at: start + cfg.RoundTicks + cfg.PerOpTicks*uint64(n), kind: evFinish, sh: s})
+	}
+
+	resize := func(to int) {
+		// Drain-and-restart: in-flight batches finish on their old
+		// shards; every queued op is re-routed under the new map; no
+		// new batch starts for DrainTicks.
+		frozenUntil = now + cfg.DrainTicks
+		var pending []workload.Op
+		for s := 0; s < len(shards); s++ {
+			st := shards[s]
+			pending = append(pending, st.queue...)
+			st.queue = st.queue[:0]
+		}
+		S = to
+		for _, op := range pending {
+			ensure(shard.Of(op.Key, S)).queue = append(ensure(shard.Of(op.Key, S)).queue, op)
+		}
+		for s := 0; s < S; s++ {
+			startBatch(s)
+		}
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(elasticEvent)
+		now = ev.at
+		switch ev.kind {
+		case evArrive:
+			res.Offered++
+			s := shard.Of(ev.op.Key, S)
+			ensure(s).queue = append(ensure(s).queue, ev.op)
+			startBatch(s)
+		case evFinish:
+			st := shards[ev.sh]
+			lbl := strconv.Itoa(ev.sh)
+			decided := reg.Counter(autoscale.SeriesDecidedOps, "shard", lbl)
+			hist := reg.Histogram(autoscale.SeriesDecisionLatency, "shard", lbl)
+			for _, op := range st.inflight {
+				hist.Observe(now - op.At)
+				decided.Inc()
+				res.Completed++
+			}
+			st.inflight = nil
+			startBatch(ev.sh)
+		case evEval:
+			var depth float64
+			for s := 0; s < S; s++ {
+				if d, ok := reg.SampleGauge(autoscale.SeriesQueueDepth, "shard", strconv.Itoa(s)); ok {
+					depth += float64(d)
+				}
+			}
+			res.Points = append(res.Points, ElasticPoint{
+				T: now, Shards: S, Depth: depth / float64(S), Completed: res.Completed,
+			})
+			if d, ok := ctl.Tick(); ok {
+				res.Decisions = append(res.Decisions, d)
+				resize(d.To)
+				ctl.Applied(d.To)
+			}
+			if res.Completed < uint64(cfg.Ops) {
+				push(elasticEvent{at: now + cfg.EvalEvery, kind: evEval})
+			}
+		}
+	}
+
+	var all obs.HistSnapshot
+	for s := range shards {
+		if snap, ok := reg.SampleHistogram(autoscale.SeriesDecisionLatency, "shard", strconv.Itoa(s)); ok {
+			all.Merge(snap)
+		}
+	}
+	res.Latency = all
+	res.P50 = all.Quantile(0.5)
+	res.P99 = all.Quantile(0.99)
+	res.P999 = all.Quantile(0.999)
+	res.EndTime = now
+	res.FinalS = S
+	return res
+}

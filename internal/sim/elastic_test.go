@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"bgla/internal/autoscale"
+	"bgla/internal/workload"
+)
+
+func elasticConfig(seed int64) ElasticConfig {
+	return ElasticConfig{
+		Workload: workload.Config{
+			Arrival: workload.Poisson{Rate: 60_000},
+			Keys:    workload.NewZipf(512, 1.1),
+			Seed:    seed,
+		},
+		Ops:        8_000,
+		Shards:     1,
+		RoundTicks: 300_000,
+		PerOpTicks: 5_000,
+		EvalEvery:  20_000_000,
+		DrainTicks: 5_000_000,
+		Autoscale: autoscale.Config{
+			Min: 1, Max: 8,
+			UpQueueDepth: 32,
+			DownP99:      100_000,
+			DownRate:     100,
+			Hysteresis:   2,
+			Cooldown:     60_000_000,
+		},
+	}
+}
+
+func TestElasticCompletesAllOps(t *testing.T) {
+	res := RunElastic(elasticConfig(1))
+	if res.Offered != 8000 || res.Completed != 8000 {
+		t.Fatalf("offered=%d completed=%d, want 8000/8000", res.Offered, res.Completed)
+	}
+	if res.Latency.Count != res.Completed {
+		t.Fatalf("latency count %d != completed %d", res.Latency.Count, res.Completed)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 {
+		t.Fatalf("percentiles not ordered: p50=%g p99=%g p999=%g", res.P50, res.P99, res.P999)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no trajectory points recorded")
+	}
+}
+
+// TestElasticScalesUpUnderOverload: a single shard's group-commit
+// capacity is 16 ops per 380k-tick round ≈ 42k ops/s; offered 60k
+// ops/s its queue grows without bound and the controller must scale
+// up within bounds.
+func TestElasticScalesUpUnderOverload(t *testing.T) {
+	res := RunElastic(elasticConfig(2))
+	if len(res.Decisions) == 0 {
+		t.Fatal("overloaded run produced no autoscale decisions")
+	}
+	up := false
+	for _, d := range res.Decisions {
+		if d.To < 1 || d.To > 8 {
+			t.Fatalf("decision out of bounds: %+v", d)
+		}
+		if d.Dir == autoscale.Up {
+			up = true
+		}
+	}
+	if !up {
+		t.Fatal("no up decision under sustained overload")
+	}
+	if res.FinalS <= 1 {
+		t.Fatalf("final shard count %d, want > 1", res.FinalS)
+	}
+}
+
+// TestElasticDeterministic mirrors TestConsensusTraceByteStable: two
+// runs of the same config produce identical trajectories, decisions
+// and latency distributions; a different seed diverges.
+func TestElasticDeterministic(t *testing.T) {
+	a := RunElastic(elasticConfig(7))
+	b := RunElastic(elasticConfig(7))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed elastic runs diverged:\n%+v\nvs\n%+v", a.Decisions, b.Decisions)
+	}
+	c := RunElastic(elasticConfig(8))
+	if reflect.DeepEqual(a.Points, c.Points) {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+// TestElasticCooldownSpacing: consecutive decisions are separated by
+// at least the configured cooldown in virtual time.
+func TestElasticCooldownSpacing(t *testing.T) {
+	cfg := elasticConfig(3)
+	res := RunElastic(cfg)
+	for i := 1; i < len(res.Decisions); i++ {
+		if gap := res.Decisions[i].At - res.Decisions[i-1].At; gap < cfg.Autoscale.Cooldown {
+			t.Fatalf("decisions %d ticks apart, cooldown %d", gap, cfg.Autoscale.Cooldown)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package bgla
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bgla/internal/workload"
+)
+
+// TestWorkloadStoreCloseStress drives a durable 2-shard store with the
+// open-loop workload engine — Poisson arrivals, Zipf keys, a mixed
+// update/read/scan blend — while Close races the in-flight ops partway
+// through the schedule. Run under -race: the assertion is that every
+// op either completes or fails cleanly (no panic, no deadlock, no torn
+// accounting), that the driver's bookkeeping identities hold whatever
+// the interleaving, and that post-close snapshots are frozen. Like
+// TestStoreScanStress, the seed is logged for replay.
+func TestWorkloadStoreCloseStress(t *testing.T) {
+	ops, rate := 1500, 6000.0
+	if testing.Short() {
+		ops, rate = 400, 4000.0
+	}
+	seed := int64(42)
+	if *seedFlag != 0 {
+		seed = *seedFlag
+	}
+	t.Logf("workload seed %d (replay: go test -run TestWorkloadStoreCloseStress -seed=%d)", seed, seed)
+
+	st, err := NewStore(ShardedConfig{
+		Shards: 2,
+		ServiceConfig: ServiceConfig{
+			Replicas: 4, Faulty: 1,
+			Jitter:  200 * time.Microsecond,
+			Seed:    seed,
+			DataDir: t.TempDir(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	gen := workload.NewGenerator(workload.Config{
+		Arrival: workload.Poisson{Rate: rate},
+		Keys:    workload.NewZipf(256, 1.1),
+		Mix:     workload.Mix{Update: 80, Read: 15, Scan: 5},
+		Seed:    seed,
+	})
+	drv := workload.NewDriver(workload.DriverConfig{
+		Gen: gen, Ops: ops, Workers: 24, Timeout: 10 * time.Second,
+		Target: workload.Target{
+			Update: func(ctx context.Context, body string) error {
+				return st.UpdateCtx(ctx, body)
+			},
+			Read: func(ctx context.Context, key string) error {
+				_, err := st.ReadCtx(ctx, key)
+				return err
+			},
+			Scan: func(ctx context.Context) error {
+				_, err := st.ScanCtx(ctx)
+				if err == ErrScanContended {
+					// A lost double-collect race is a legitimate outcome
+					// under concurrent writers, not a failure.
+					return nil
+				}
+				return err
+			},
+		},
+	})
+
+	var wg sync.WaitGroup
+	var res workload.Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res = drv.Run(context.Background())
+	}()
+	// Close lands mid-schedule, racing whatever is in flight; a second
+	// concurrent Close races the first.
+	time.Sleep(time.Duration(float64(ops) / rate * 0.5 * float64(time.Second)))
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.Close()
+		}()
+	}
+	wg.Wait()
+
+	if res.Offered != res.Started+res.Shed {
+		t.Fatalf("offered %d != started %d + shed %d", res.Offered, res.Started, res.Shed)
+	}
+	if res.Started != res.Completed+res.Errors {
+		t.Fatalf("started %d != completed %d + errors %d", res.Started, res.Completed, res.Errors)
+	}
+	if res.Offered != uint64(ops) {
+		t.Fatalf("offered %d, want %d (pacing must not stall on a closing store)", res.Offered, ops)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("nothing completed before Close landed: %+v", res)
+	}
+	if lat := res.LatencyAll(); lat.Count != res.Completed {
+		t.Fatalf("latency samples %d != completed %d", lat.Count, res.Completed)
+	}
+
+	// Post-close surfaces must be frozen and the store idempotently
+	// closable while scrapes continue.
+	a, b := st.Stats(), st.Stats()
+	if a.Total.Ops != b.Total.Ops || a.Total.Flights != b.Total.Flights {
+		t.Fatalf("post-close Stats unstable: %+v vs %+v", a.Total, b.Total)
+	}
+	if a.Total.Ops == 0 {
+		t.Fatalf("no pipeline activity recorded: %+v", a.Total)
+	}
+	st.Close()
+	t.Logf("offered %d: completed %d, errors %d, shed %d (%d flights)",
+		res.Offered, res.Completed, res.Errors, res.Shed, a.Total.Flights)
+}
